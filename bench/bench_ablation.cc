@@ -1,0 +1,103 @@
+// Experiment E8 (DESIGN.md §3): ablations of LOOM's moving parts, each one a
+// design decision the paper calls out:
+//   (a) motif grouping off  -> buffered LDG (grouping is the active
+//       ingredient; FIFO buffering alone changes nothing, see
+//       BufferedLdgTest.EquivalentToLdgUnderFifoEviction);
+//   (b) re-grow off         -> Fig. 3 overlap matches lost;
+//   (c) paths-only TPSTry   -> branch/cycle motifs invisible (§4.2's reason
+//       for generalising the trie to a DAG);
+//   (d) overlap grouping off-> matches sharing sub-structure may split
+//       (§4.4's assignment rule).
+
+#include <iostream>
+
+#include "common/table.h"
+#include "harness.h"
+
+int main() {
+  using namespace loom;
+  using namespace loom::bench;
+
+  const uint32_t n = 20000;
+  const uint32_t k = 8;
+
+  WorkloadGenOptions wopts;
+  wopts.num_queries = 5;
+  wopts.seed = 5;
+  Workload workload = MixedMotifWorkload(wopts);
+
+  Rng rng(8);
+  LabeledGraph g =
+      MakeGraph(GraphKind::kBarabasiAlbert, n, 6, LabelConfig{4, 0.4}, rng);
+  PlantWorkloadMotifs(&g, workload, n / 24, rng, /*locality_span=*/48);
+  const GraphStream stream = MakeStream(g, StreamOrder::kNatural, rng);
+
+  PartitionerOptions popts;
+  popts.k = k;
+  popts.num_vertices_hint = g.NumVertices();
+  popts.num_edges_hint = g.NumEdges();
+  popts.window_size = 1024;
+
+  TablePrinter table(
+      "E8 loom ablations (n=" + std::to_string(g.NumVertices()) +
+          ", k=" + std::to_string(k) + ")",
+      {"variant", "ipt-prob", "1-part", "emb-cut", "cluster-vertices",
+       "regrow-matches"});
+
+  struct Variant {
+    std::string name;
+    LoomOptions options;
+  };
+  std::vector<Variant> variants;
+  {
+    LoomOptions base;
+    base.partitioner = popts;
+    base.matcher.frequency_threshold = 0.2;
+    variants.push_back({"loom (full)", base});
+
+    LoomOptions no_regrow = base;
+    no_regrow.matcher.use_regrow = false;
+    variants.push_back({"no re-grow (E8b)", no_regrow});
+
+    LoomOptions paths_only = base;
+    paths_only.paths_only = true;
+    variants.push_back({"paths-only trie (E8c)", paths_only});
+
+    LoomOptions no_overlap = base;
+    no_overlap.group_overlapping_matches = false;
+    variants.push_back({"no overlap grouping (E8d)", no_overlap});
+
+    LoomOptions grouping_off = base;
+    // Threshold above every support: no frequent motifs -> buffered LDG.
+    grouping_off.matcher.frequency_threshold = 1.01;
+    variants.push_back({"motif grouping off (E8a)", grouping_off});
+
+    LoomOptions weighted = base;
+    weighted.use_traversal_weights = true;
+    variants.push_back({"+ traversal-weighted LDG (E8e, §5)", weighted});
+
+    LoomOptions no_local_split = base;
+    no_local_split.local_cluster_split = false;
+    variants.push_back({"oldest-first split fallback (E8f)", no_local_split});
+  }
+
+  for (const Variant& variant : variants) {
+    auto loom = Loom::Create(workload, variant.options);
+    if (!loom.ok()) {
+      std::cerr << loom.status().ToString() << "\n";
+      return 1;
+    }
+    const RunResult r =
+        RunStreaming(&(*loom)->Partitioner(), g, stream, workload);
+    table.AddRow(
+        {variant.name, FormatPercent(r.ipt.ipt_probability),
+         FormatPercent(r.ipt.single_partition_fraction),
+         FormatPercent(r.ipt.embedding_cut_fraction),
+         std::to_string((*loom)->Partitioner().loom_stats().cluster_vertices),
+         std::to_string((*loom)->Partitioner().matcher_stats().regrow_matches)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape: full loom has the best answer locality; "
+               "each ablation gives part of it back.\n";
+  return 0;
+}

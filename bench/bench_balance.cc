@@ -1,0 +1,67 @@
+// Experiment E7 (DESIGN.md §3): balance under capacity pressure. §4.4 flags
+// cluster assignment as a balance risk ("if a set of connected sub-graphs is
+// very large, it is unclear what effect this would have on partition
+// balance"); loom's split safety valve bounds it. Expected shape: every
+// partitioner respects C = ceil(slack*n/k); loom's max load runs closest to
+// the cap; split counts grow as slack shrinks.
+
+#include <iostream>
+
+#include "common/table.h"
+#include "harness.h"
+
+int main() {
+  using namespace loom;
+  using namespace loom::bench;
+
+  const uint32_t n = 20000;
+  const uint32_t k = 8;
+
+  WorkloadGenOptions wopts;
+  wopts.num_queries = 4;
+  wopts.seed = 5;
+  Workload workload = MixedMotifWorkload(wopts);
+
+  Rng rng(13);
+  LabeledGraph g =
+      MakeGraph(GraphKind::kBarabasiAlbert, n, 6, LabelConfig{4, 0.4}, rng);
+  PlantWorkloadMotifs(&g, workload, n / 24, rng, /*locality_span=*/48);
+  const GraphStream stream = MakeStream(g, StreamOrder::kNatural, rng);
+
+  TablePrinter table(
+      "E7 balance under capacity slack (n=" +
+          std::to_string(g.NumVertices()) + ", k=" + std::to_string(k) + ")",
+      {"slack", "partitioner", "balance(max/avg)", "capacity-C", "max-load",
+       "loom-splits"});
+
+  for (const double slack : {1.01, 1.05, 1.1, 1.3}) {
+    PartitionerOptions popts;
+    popts.k = k;
+    popts.num_vertices_hint = g.NumVertices();
+    popts.num_edges_hint = g.NumEdges();
+    popts.capacity_slack = slack;
+    popts.window_size = 1024;
+
+    PartitionerSet set = MakeStandardSet(popts, workload, 0.2);
+    for (StreamingPartitioner* p : set.All()) {
+      if (p->Name() == "ldg-buffered" || p->Name() == "fennel") continue;
+      const RunResult r = RunStreaming(p, g, stream, workload);
+      uint32_t max_load = 0;
+      for (const uint32_t s : p->assignment().Sizes()) {
+        max_load = std::max(max_load, s);
+      }
+      std::string splits = "-";
+      if (auto* lp = dynamic_cast<LoomPartitioner*>(p)) {
+        splits = std::to_string(lp->loom_stats().clusters_split);
+      }
+      table.AddRow({FormatDouble(slack, 2), r.partitioner,
+                    FormatDouble(r.balance),
+                    std::to_string(p->assignment().capacity()),
+                    std::to_string(max_load), splits});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nInvariant: max-load <= capacity-C for every partitioner "
+               "and slack.\n";
+  return 0;
+}

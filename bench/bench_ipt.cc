@@ -1,0 +1,103 @@
+// Experiment E2 (DESIGN.md §3): inter-partition traversal probability by
+// partitioner and workload — the paper's headline comparison. For each
+// workload family the harness streams the same graph through every
+// partitioner and reports:
+//   ipt-prob   probability a traversal performed during query execution
+//              crosses partitions (the paper's objective);
+//   1-part     fraction of query answers contained in a single partition
+//              (the abstract's "answered within a single partition");
+//   emb-cut    fraction of answer edges that are cut;
+//   edge-cut   classic workload-agnostic cut, for contrast.
+//
+// Expected shape: loom < ldg-buffered < ldg/fennel < hash on motif-heavy
+// workloads; the gap collapses on the motif-free lookup workload.
+
+#include <iostream>
+
+#include "common/table.h"
+#include "harness.h"
+
+namespace loom {
+namespace bench {
+namespace {
+
+struct WorkloadCase {
+  std::string name;
+  Workload workload;
+};
+
+void RunCase(const WorkloadCase& wc, uint32_t n, uint32_t k) {
+  Rng rng(1234);
+  LabeledGraph g =
+      MakeGraph(GraphKind::kBarabasiAlbert, n, 6, LabelConfig{4, 0.4}, rng);
+  PlantWorkloadMotifs(&g, wc.workload, n / 24, rng, /*locality_span=*/48);
+  const GraphStream stream = MakeStream(g, StreamOrder::kNatural, rng);
+
+  PartitionerOptions popts;
+  popts.k = k;
+  popts.num_vertices_hint = g.NumVertices();
+  popts.num_edges_hint = g.NumEdges();
+  popts.window_size = 1024;
+
+  PartitionerSet set = MakeStandardSet(popts, wc.workload, 0.2);
+
+  TablePrinter table(
+      "E2 ipt by partitioner — workload=" + wc.name + " (n=" +
+          std::to_string(g.NumVertices()) + ", m=" +
+          std::to_string(g.NumEdges()) + ", k=" + std::to_string(k) + ")",
+      {"partitioner", "ipt-prob", "1-part", "emb-cut", "edge-cut", "balance",
+       "sec"});
+  for (StreamingPartitioner* p : set.All()) {
+    const RunResult r = RunStreaming(p, g, stream, wc.workload);
+    table.AddRow({r.partitioner, FormatPercent(r.ipt.ipt_probability),
+                  FormatPercent(r.ipt.single_partition_fraction),
+                  FormatPercent(r.ipt.embedding_cut_fraction),
+                  FormatPercent(r.cut_fraction), FormatDouble(r.balance),
+                  FormatDouble(r.seconds)});
+    if (auto* lp = dynamic_cast<LoomPartitioner*>(p)) {
+      const LoomStats& ls = lp->loom_stats();
+      const StreamMatcherStats& ms = lp->matcher_stats();
+      std::printf(
+          "   [loom] clusters=%llu cluster-vertices=%llu splits=%llu "
+          "singles=%llu | growths=%llu/%llu regrows=%llu max-tracked=%llu\n",
+          (unsigned long long)ls.clusters_assigned,
+          (unsigned long long)ls.cluster_vertices,
+          (unsigned long long)ls.clusters_split,
+          (unsigned long long)ls.single_vertices,
+          (unsigned long long)ms.growths_accepted,
+          (unsigned long long)(ms.growths_accepted + ms.growths_rejected),
+          (unsigned long long)ms.regrow_invocations,
+          (unsigned long long)ms.max_tracked_live);
+    }
+  }
+  const RunResult off = RunOffline(g, wc.workload, k, 1.1, 99);
+  table.AddRow({off.partitioner, FormatPercent(off.ipt.ipt_probability),
+                FormatPercent(off.ipt.single_partition_fraction),
+                FormatPercent(off.ipt.embedding_cut_fraction),
+                FormatPercent(off.cut_fraction), FormatDouble(off.balance),
+                FormatDouble(off.seconds)});
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace loom
+
+int main() {
+  using namespace loom;
+  using namespace loom::bench;
+
+  WorkloadGenOptions wopts;
+  wopts.num_labels = 4;
+  wopts.num_queries = 5;
+  wopts.frequency_skew = 1.0;
+  wopts.seed = 17;
+
+  std::vector<WorkloadCase> cases;
+  cases.push_back({"paths", PathWorkload(wopts)});
+  cases.push_back({"mixed-motifs", MixedMotifWorkload(wopts)});
+  cases.push_back({"lookups", LookupWorkload(wopts)});
+
+  for (const auto& wc : cases) RunCase(wc, 20000, 8);
+  return 0;
+}

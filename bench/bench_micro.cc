@@ -1,0 +1,177 @@
+// Microbenchmarks (google-benchmark): per-operation costs of the hot paths —
+// signature updates, TPSTry++ construction/lookup, LDG placement, window
+// churn, stream matching, and full partitioner passes.
+
+#include <benchmark/benchmark.h>
+
+#include "core/loom.h"
+#include "graph/generators.h"
+#include "matching/stream_matcher.h"
+#include "motif/canonical.h"
+#include "motif/signature.h"
+#include "partition/ldg_partitioner.h"
+#include "partition/hash_partitioner.h"
+#include "stream/stream.h"
+#include "stream/window.h"
+#include "workload/query_builders.h"
+#include "workload/workload_gen.h"
+
+namespace loom {
+namespace {
+
+void BM_SignatureMultiplyEdge(benchmark::State& state) {
+  const SignatureScheme scheme(8);
+  GraphSignature sig;
+  Label a = 0;
+  for (auto _ : state) {
+    scheme.MultiplyEdge(&sig, a, (a + 3) % 8);
+    a = (a + 1) % 8;
+    if (sig.NumFactors() > 64) sig = GraphSignature();
+  }
+}
+BENCHMARK(BM_SignatureMultiplyEdge);
+
+void BM_SignatureDivides(benchmark::State& state) {
+  const SignatureScheme scheme(4);
+  const GraphSignature small = scheme.SignatureOf(PaperQ2());
+  const GraphSignature big = scheme.SignatureOf(PaperFigure1Graph());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(small.Divides(big));
+  }
+}
+BENCHMARK(BM_SignatureDivides);
+
+void BM_CanonicalFormSmallMotif(benchmark::State& state) {
+  const LabeledGraph q = PaperQ1();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CanonicalForm(q));
+  }
+}
+BENCHMARK(BM_CanonicalFormSmallMotif);
+
+void BM_TrieConstruction(benchmark::State& state) {
+  WorkloadGenOptions wopts;
+  wopts.num_queries = static_cast<uint32_t>(state.range(0));
+  const Workload w = MixedMotifWorkload(wopts);
+  for (auto _ : state) {
+    auto trie = BuildTrie(w);
+    benchmark::DoNotOptimize(trie);
+  }
+}
+BENCHMARK(BM_TrieConstruction)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_TrieSignatureLookup(benchmark::State& state) {
+  const Workload w = PaperFigure1Workload();
+  auto trie = BuildTrie(w);
+  const GraphSignature sig = (*trie)->scheme().SignatureOf(PaperQ2());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*trie)->FindBySignature(sig));
+  }
+}
+BENCHMARK(BM_TrieSignatureLookup);
+
+void BM_LdgPlacement(benchmark::State& state) {
+  Rng rng(1);
+  const LabeledGraph g =
+      BarabasiAlbert(20000, 4, LabelConfig{4, 0.0}, rng);
+  const GraphStream stream = MakeStream(g, StreamOrder::kRandom, rng);
+  for (auto _ : state) {
+    PartitionerOptions o;
+    o.k = 16;
+    o.num_vertices_hint = g.NumVertices();
+    LdgPartitioner p(o);
+    p.Run(stream);
+    benchmark::DoNotOptimize(p.assignment().NumAssigned());
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumVertices());
+}
+BENCHMARK(BM_LdgPlacement)->Unit(benchmark::kMillisecond);
+
+void BM_HashPlacement(benchmark::State& state) {
+  Rng rng(1);
+  const LabeledGraph g =
+      BarabasiAlbert(20000, 4, LabelConfig{4, 0.0}, rng);
+  const GraphStream stream = MakeStream(g, StreamOrder::kRandom, rng);
+  for (auto _ : state) {
+    PartitionerOptions o;
+    o.k = 16;
+    o.num_vertices_hint = g.NumVertices();
+    HashPartitioner p(o);
+    p.Run(stream);
+    benchmark::DoNotOptimize(p.assignment().NumAssigned());
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumVertices());
+}
+BENCHMARK(BM_HashPlacement)->Unit(benchmark::kMillisecond);
+
+void BM_WindowChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    StreamWindow w(256);
+    for (VertexId v = 0; v < 4096; ++v) {
+      if (w.Full()) benchmark::DoNotOptimize(w.PopOldest());
+      w.Push(v, v % 4, v > 0 ? std::vector<VertexId>{v - 1}
+                             : std::vector<VertexId>{});
+    }
+    benchmark::DoNotOptimize(w.Size());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_WindowChurn);
+
+void BM_StreamMatcherPass(benchmark::State& state) {
+  Rng rng(2);
+  LabeledGraph g = BarabasiAlbert(5000, 3, LabelConfig{3, 0.3}, rng);
+  Workload w;
+  (void)w.Add("abc", PathQuery({0, 1, 2}), 1.0);
+  w.Normalize();
+  PlantMotifs(&g, w.queries()[0].pattern, 200, rng, 16);
+  const GraphStream stream = MakeStream(g, StreamOrder::kNatural, rng);
+  auto trie = BuildTrie(w);
+  for (auto _ : state) {
+    StreamMatcherOptions mo;
+    mo.frequency_threshold = 0.3;
+    StreamMatcher m(trie->get(), mo);
+    // Bounded window emulation: remove vertices 512 arrivals behind.
+    for (size_t i = 0; i < stream.arrivals().size(); ++i) {
+      const auto& a = stream.arrivals()[i];
+      std::vector<VertexId> in_window;
+      for (const VertexId x : a.back_edges) {
+        if (i < 512 || x >= stream.arrivals()[i - 512].vertex) {
+          in_window.push_back(x);
+        }
+      }
+      m.OnVertex(a.vertex, a.label, in_window);
+      if (i >= 512) m.RemoveVertex(stream.arrivals()[i - 512].vertex);
+    }
+    benchmark::DoNotOptimize(m.stats().growths_accepted);
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumVertices());
+}
+BENCHMARK(BM_StreamMatcherPass)->Unit(benchmark::kMillisecond);
+
+void BM_LoomFullPass(benchmark::State& state) {
+  Rng rng(3);
+  WorkloadGenOptions wopts;
+  wopts.num_queries = 4;
+  const Workload w = MixedMotifWorkload(wopts);
+  LabeledGraph g = BarabasiAlbert(10000, 3, LabelConfig{4, 0.4}, rng);
+  const GraphStream stream = MakeStream(g, StreamOrder::kNatural, rng);
+  for (auto _ : state) {
+    LoomOptions o;
+    o.partitioner.k = 8;
+    o.partitioner.num_vertices_hint = g.NumVertices();
+    o.partitioner.window_size = static_cast<size_t>(state.range(0));
+    o.matcher.frequency_threshold = 0.2;
+    auto loom = Loom::Create(w, o);
+    (*loom)->Partitioner().Run(stream);
+    benchmark::DoNotOptimize(
+        (*loom)->Partitioner().assignment().NumAssigned());
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumVertices());
+}
+BENCHMARK(BM_LoomFullPass)->Arg(64)->Arg(512)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace loom
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Experiment E3 (DESIGN.md §3): stream-ordering sensitivity — the evaluation
+// §5 explicitly promises ("in the presence of a number of different
+// graph-stream orderings"). Expected shape (§3.1): adversarial orderings are
+// worst for greedy heuristics; stochastic/natural orders let LOOM capture
+// motifs (temporally local structure) best.
+
+#include <iostream>
+
+#include "common/table.h"
+#include "harness.h"
+
+int main() {
+  using namespace loom;
+  using namespace loom::bench;
+
+  const uint32_t n = 20000;
+  const uint32_t k = 8;
+
+  WorkloadGenOptions wopts;
+  wopts.num_queries = 4;
+  wopts.seed = 5;
+  Workload workload = MixedMotifWorkload(wopts);
+
+  Rng rng(31);
+  LabeledGraph g =
+      MakeGraph(GraphKind::kBarabasiAlbert, n, 6, LabelConfig{4, 0.4}, rng);
+  PlantWorkloadMotifs(&g, workload, n / 24, rng, /*locality_span=*/48);
+
+  TablePrinter table(
+      "E3 ordering sensitivity (n=" + std::to_string(g.NumVertices()) +
+          ", k=" + std::to_string(k) + ")",
+      {"ordering", "partitioner", "edge-cut", "ipt-prob", "1-part",
+       "emb-cut"});
+
+  for (const StreamOrder order :
+       {StreamOrder::kRandom, StreamOrder::kBfs, StreamOrder::kDfs,
+        StreamOrder::kAdversarial, StreamOrder::kStochastic,
+        StreamOrder::kNatural}) {
+    Rng order_rng(77);
+    const GraphStream stream = MakeStream(g, order, order_rng);
+
+    PartitionerOptions popts;
+    popts.k = k;
+    popts.num_vertices_hint = g.NumVertices();
+    popts.num_edges_hint = g.NumEdges();
+    popts.window_size = 1024;
+
+    PartitionerSet set = MakeStandardSet(popts, workload, 0.2);
+    for (StreamingPartitioner* p : set.All()) {
+      if (p->Name() == "fennel" || p->Name() == "ldg-buffered") continue;
+      const RunResult r = RunStreaming(p, g, stream, workload);
+      table.AddRow({StreamOrderName(order), r.partitioner,
+                    FormatPercent(r.cut_fraction),
+                    FormatPercent(r.ipt.ipt_probability),
+                    FormatPercent(r.ipt.single_partition_fraction),
+                    FormatPercent(r.ipt.embedding_cut_fraction)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape: adversarial order degrades greedy "
+               "partitioners most; loom's motif capture pays off under "
+               "natural/stochastic orders.\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Experiment E6 (DESIGN.md §3): one-pass scalability. Streaming partitioners
+// touch each element once (§3.1), so throughput should be flat in n; LOOM
+// pays a bounded constant factor for the matcher; the offline multilevel
+// baseline holds the whole graph in memory and scales worse.
+
+#include <iostream>
+
+#include "common/table.h"
+#include "common/timer.h"
+#include "harness.h"
+
+int main() {
+  using namespace loom;
+  using namespace loom::bench;
+
+  const uint32_t k = 8;
+
+  WorkloadGenOptions wopts;
+  wopts.num_queries = 4;
+  wopts.seed = 5;
+  Workload workload = MixedMotifWorkload(wopts);
+
+  TablePrinter table("E6 scalability: stream throughput (vertices/s)",
+                     {"n", "m", "hash", "ldg", "fennel", "loom",
+                      "metis-like(s)", "loom(s)"});
+
+  for (const uint32_t n : {10000u, 50000u, 100000u, 200000u, 400000u}) {
+    Rng rng(9);
+    LabeledGraph g =
+        MakeGraph(GraphKind::kBarabasiAlbert, n, 6, LabelConfig{4, 0.4}, rng);
+    PlantWorkloadMotifs(&g, workload, n / 24, rng, /*locality_span=*/48);
+    const GraphStream stream = MakeStream(g, StreamOrder::kNatural, rng);
+
+    PartitionerOptions popts;
+    popts.k = k;
+    popts.num_vertices_hint = g.NumVertices();
+    popts.num_edges_hint = g.NumEdges();
+    popts.window_size = 1024;
+
+    auto throughput = [&](StreamingPartitioner* p) {
+      WallTimer timer;
+      p->Run(stream);
+      return std::make_pair(
+          static_cast<double>(g.NumVertices()) / timer.ElapsedSeconds(),
+          timer.ElapsedSeconds());
+    };
+
+    HashPartitioner hash(popts);
+    LdgPartitioner ldg(popts);
+    FennelPartitioner fennel(popts);
+    LoomOptions lopts;
+    lopts.partitioner = popts;
+    lopts.matcher.frequency_threshold = 0.2;
+    auto loom = Loom::Create(workload, lopts);
+    if (!loom.ok()) return 1;
+
+    const auto [tp_hash, s_hash] = throughput(&hash);
+    const auto [tp_ldg, s_ldg] = throughput(&ldg);
+    const auto [tp_fennel, s_fennel] = throughput(&fennel);
+    const auto [tp_loom, s_loom] = throughput(&(*loom)->Partitioner());
+
+    WallTimer offline_timer;
+    OfflineOptions oopts;
+    oopts.k = k;
+    auto off = OfflineMultilevelPartition(g, oopts);
+    const double s_off = offline_timer.ElapsedSeconds();
+    if (!off.ok()) return 1;
+
+    auto fmt_tp = [](double tp) {
+      return FormatDouble(tp / 1e6, 2) + "M";
+    };
+    table.AddRow({std::to_string(g.NumVertices()),
+                  std::to_string(g.NumEdges()), fmt_tp(tp_hash),
+                  fmt_tp(tp_ldg), fmt_tp(tp_fennel), fmt_tp(tp_loom),
+                  FormatDouble(s_off, 3), FormatDouble(s_loom, 3)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape: streaming throughputs roughly flat in n; "
+               "loom a bounded constant factor below ldg; offline wall time "
+               "grows superlinearly in practice.\n";
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Fraud-detection scenario (the paper's §1 motivation cites pattern matching
+// for fraud detection [18]).
+//
+// A payment network streams in: accounts, merchants and devices appear as
+// they first transact. Fraud analysts continuously run ring/fan-out pattern
+// queries. Fraud structures are bursty — a ring's accounts and edges appear
+// within a short time span — which is precisely the regime where LOOM's
+// stream window captures whole motifs and pins them to one partition.
+//
+// The example also demonstrates the figure-3 style overlap: shared mule
+// accounts participate in several rings, and LOOM's §4.4 rule co-locates
+// the overlapping matches.
+//
+//   ./build/examples/example_fraud_detection
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/loom.h"
+#include "graph/generators.h"
+#include "metrics/metrics.h"
+#include "partition/ldg_partitioner.h"
+#include "stream/stream.h"
+#include "workload/query_builders.h"
+#include "workload/query_engine.h"
+
+namespace {
+
+constexpr loom::Label kAccount = 0;
+constexpr loom::Label kMerchant = 1;
+constexpr loom::Label kDevice = 2;
+
+}  // namespace
+
+int main() {
+  using namespace loom;
+
+  // --- Fraud workload: rings of accounts, device-sharing pairs, and
+  //     merchant bust-out fans.
+  Workload workload;
+  (void)workload.Add("money-ring-3",
+                     CycleQuery({kAccount, kAccount, kAccount}), 4.0);
+  (void)workload.Add("device-sharing",
+                     PathQuery({kAccount, kDevice, kAccount}), 3.0);
+  (void)workload.Add("bust-out",
+                     StarQuery(kMerchant, {kAccount, kAccount, kAccount}),
+                     2.0);
+  (void)workload.Add("mule-chain",
+                     PathQuery({kAccount, kAccount, kMerchant}), 1.0);
+  workload.Normalize();
+
+  // --- Payment graph: heavy-tailed transaction network; fraud structures
+  //     planted as temporally tight bursts (span 24 arrivals).
+  Rng rng(13);
+  LabeledGraph graph = BarabasiAlbert(25000, 3, LabelConfig{3, 0.5}, rng);
+  size_t planted = 0;
+  for (const QuerySpec& q : workload.queries()) {
+    planted += PlantMotifs(&graph, q.pattern, 700, rng, /*locality_span=*/24)
+                   .size();
+  }
+  const GraphStream stream = MakeStream(graph, StreamOrder::kNatural, rng);
+  std::printf("payment graph: %zu entities, %zu transactions, %zu planted "
+              "fraud structures\n",
+              graph.NumVertices(), graph.NumEdges(), planted);
+
+  // --- Partition.
+  PartitionerOptions popts;
+  popts.k = 12;
+  popts.num_vertices_hint = graph.NumVertices();
+  popts.num_edges_hint = graph.NumEdges();
+  popts.window_size = 2048;
+
+  LoomOptions lopts;
+  lopts.partitioner = popts;
+  lopts.matcher.frequency_threshold = 0.1;
+  auto loom = Loom::Create(workload, lopts);
+  if (!loom.ok()) {
+    std::fprintf(stderr, "%s\n", loom.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("workload summary: %zu motifs in TPSTry++ (%zu frequent at "
+              "T=%.2f)\n",
+              (*loom)->Trie().NumNodes(),
+              (*loom)->Trie().FrequentNodes(0.1).size(), 0.1);
+  (*loom)->Partitioner().Run(stream);
+  LdgPartitioner ldg(popts);
+  ldg.Run(stream);
+
+  // --- How often can an analyst's alert query run without crossing
+  //     partitions? (Cross-partition hops leak latency the fraudster can
+  //     exploit; single-partition answers can be verified at wire speed.)
+  std::printf("\n%-28s %-12s %-12s\n", "query", "ldg 1-part", "loom 1-part");
+  const WorkloadIptStats ldg_stats =
+      EvaluateWorkloadIpt(graph, ldg.assignment(), workload);
+  const WorkloadIptStats loom_stats = EvaluateWorkloadIpt(
+      graph, (*loom)->Partitioner().assignment(), workload);
+  for (size_t i = 0; i < workload.NumQueries(); ++i) {
+    auto frac = [&](const WorkloadIptStats& s) {
+      const QueryExecutionStats& q = s.per_query[i];
+      return q.num_embeddings
+                 ? static_cast<double>(q.single_partition_embeddings) /
+                       static_cast<double>(q.num_embeddings)
+                 : 0.0;
+    };
+    std::printf("%-28s %-12s %-12s\n", workload.queries()[i].name.c_str(),
+                FormatPercent(frac(ldg_stats)).c_str(),
+                FormatPercent(frac(loom_stats)).c_str());
+  }
+  std::printf("\nworkload-weighted: ldg %s vs loom %s single-partition "
+              "answers; answer-edge cut %s vs %s\n",
+              FormatPercent(ldg_stats.single_partition_fraction).c_str(),
+              FormatPercent(loom_stats.single_partition_fraction).c_str(),
+              FormatPercent(ldg_stats.embedding_cut_fraction).c_str(),
+              FormatPercent(loom_stats.embedding_cut_fraction).c_str());
+  return 0;
+}

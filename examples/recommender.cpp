@@ -1,0 +1,110 @@
+// Recommender scenario (the paper's §1 motivation cites graph-based
+// recommender systems [7]).
+//
+// A retail co-interaction graph streams in: users, items and tags. The
+// online workload is recommendation pattern matching — "users who bought X
+// also bought Y" paths and co-tagged item diamonds. This example contrasts a
+// *workload-agnostic* deployment (LDG) with LOOM fed two different
+// workloads, demonstrating the paper's core point: the right partitioning
+// depends on the queries, not just the graph. The same graph partitioned for
+// workload A performs worse on workload B and vice versa.
+//
+//   ./build/examples/example_recommender
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/loom.h"
+#include "graph/generators.h"
+#include "metrics/metrics.h"
+#include "partition/ldg_partitioner.h"
+#include "stream/stream.h"
+#include "workload/query_builders.h"
+#include "workload/query_engine.h"
+
+namespace {
+
+constexpr loom::Label kUser = 0;
+constexpr loom::Label kItem = 1;
+constexpr loom::Label kTag = 2;
+
+}  // namespace
+
+int main() {
+  using namespace loom;
+
+  // --- Two alternative online workloads over the same store.
+  Workload bought_also;  // user-centric navigation
+  (void)bought_also.Add("also-bought", PathQuery({kItem, kUser, kItem}), 5.0);
+  (void)bought_also.Add("user-chain",
+                        PathQuery({kUser, kItem, kUser}), 2.0);
+  bought_also.Normalize();
+
+  Workload tag_centric;  // catalogue curation
+  (void)tag_centric.Add("co-tagged", PathQuery({kItem, kTag, kItem}), 5.0);
+  (void)tag_centric.Add("tag-triangle", TriangleQuery(kItem, kTag, kItem),
+                        2.0);
+  tag_centric.Normalize();
+
+  // --- The co-interaction graph, containing both structures.
+  Rng rng(29);
+  LabeledGraph graph = BarabasiAlbert(25000, 3, LabelConfig{3, 0.4}, rng);
+  for (const Workload* w : {&bought_also, &tag_centric}) {
+    for (const QuerySpec& q : w->queries()) {
+      PlantMotifs(&graph, q.pattern, 700, rng, /*locality_span=*/32);
+    }
+  }
+  const GraphStream stream = MakeStream(graph, StreamOrder::kNatural, rng);
+  std::printf("catalogue graph: %zu vertices, %zu interactions\n",
+              graph.NumVertices(), graph.NumEdges());
+
+  // --- Three deployments of the same store.
+  PartitionerOptions popts;
+  popts.k = 8;
+  popts.num_vertices_hint = graph.NumVertices();
+  popts.num_edges_hint = graph.NumEdges();
+  popts.window_size = 1024;
+
+  LdgPartitioner agnostic(popts);
+  agnostic.Run(stream);
+
+  auto make_loom = [&](const Workload& w) {
+    LoomOptions lopts;
+    lopts.partitioner = popts;
+    lopts.matcher.frequency_threshold = 0.1;
+    auto loom = Loom::Create(w, lopts);
+    if (loom.ok()) (*loom)->Partitioner().Run(stream);
+    return loom;
+  };
+  auto loom_bought = make_loom(bought_also);
+  auto loom_tags = make_loom(tag_centric);
+  if (!loom_bought.ok() || !loom_tags.ok()) return 1;
+
+  // --- Cross-evaluation matrix: rows = deployment, columns = live workload.
+  std::printf("\nsingle-partition answer rate (row layout, column traffic):\n");
+  std::printf("%-22s %-16s %-16s\n", "layout \\ traffic", "also-bought",
+              "tag-centric");
+  auto eval = [&](const PartitionAssignment& a, const Workload& w) {
+    return FormatPercent(
+        EvaluateWorkloadIpt(graph, a, w).single_partition_fraction);
+  };
+  std::printf("%-22s %-16s %-16s\n", "ldg (agnostic)",
+              eval(agnostic.assignment(), bought_also).c_str(),
+              eval(agnostic.assignment(), tag_centric).c_str());
+  std::printf("%-22s %-16s %-16s\n", "loom(also-bought)",
+              eval((*loom_bought)->Partitioner().assignment(), bought_also)
+                  .c_str(),
+              eval((*loom_bought)->Partitioner().assignment(), tag_centric)
+                  .c_str());
+  std::printf("%-22s %-16s %-16s\n", "loom(tag-centric)",
+              eval((*loom_tags)->Partitioner().assignment(), bought_also)
+                  .c_str(),
+              eval((*loom_tags)->Partitioner().assignment(), tag_centric)
+                  .c_str());
+
+  std::printf("\nReading: each LOOM layout is best on the diagonal — the\n"
+              "workload it was built for — which is the paper's thesis:\n"
+              "partition quality is a property of (graph, workload), not of\n"
+              "the graph alone.\n");
+  return 0;
+}

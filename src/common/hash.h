@@ -1,0 +1,55 @@
+#ifndef LOOM_COMMON_HASH_H_
+#define LOOM_COMMON_HASH_H_
+
+/// \file
+/// Small hashing helpers shared across modules.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <utility>
+
+namespace loom {
+
+/// Mixes `value` into `seed` (64-bit variant of boost::hash_combine).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  // Golden-ratio based mixing; the shifts decorrelate low/high bits.
+  seed ^= value + 0x9E3779B97F4A7C15ull + (seed << 12) + (seed >> 4);
+  seed *= 0xFF51AFD7ED558CCDull;
+  seed ^= seed >> 33;
+  return seed;
+}
+
+/// FNV-1a over raw bytes; stable across platforms.
+inline uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Finalizing mixer (SplitMix64); turns a counter/id into spread bits.
+inline uint64_t MixBits(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Hash functor for `std::pair` keys in unordered containers.
+struct PairHash {
+  template <typename A, typename B>
+  size_t operator()(const std::pair<A, B>& p) const {
+    return static_cast<size_t>(
+        HashCombine(MixBits(static_cast<uint64_t>(p.first)),
+                    static_cast<uint64_t>(p.second)));
+  }
+};
+
+}  // namespace loom
+
+#endif  // LOOM_COMMON_HASH_H_

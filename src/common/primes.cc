@@ -1,0 +1,117 @@
+#include "common/primes.h"
+
+#include <algorithm>
+#include <cassert>
+#include <mutex>
+
+#include "common/hash.h"
+
+namespace loom {
+namespace {
+
+std::vector<uint64_t>& Cache() {
+  static std::vector<uint64_t> cache = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29};
+  return cache;
+}
+
+std::mutex& CacheMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+bool IsPrimeAgainst(uint64_t candidate, const std::vector<uint64_t>& primes) {
+  for (uint64_t p : primes) {
+    if (p * p > candidate) break;
+    if (candidate % p == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+uint64_t PrimeTable::Get(uint32_t i) {
+  std::lock_guard<std::mutex> lock(CacheMutex());
+  auto& cache = Cache();
+  while (cache.size() <= i) {
+    uint64_t candidate = cache.back() + 2;
+    while (!IsPrimeAgainst(candidate, cache)) candidate += 2;
+    cache.push_back(candidate);
+  }
+  return cache[i];
+}
+
+size_t PrimeTable::CachedCount() {
+  std::lock_guard<std::mutex> lock(CacheMutex());
+  return Cache().size();
+}
+
+FactorMultiset::FactorMultiset(std::vector<uint32_t> factors)
+    : factors_(std::move(factors)) {
+  std::sort(factors_.begin(), factors_.end());
+}
+
+void FactorMultiset::MultiplyFactor(uint32_t idx) {
+  const auto pos = std::lower_bound(factors_.begin(), factors_.end(), idx);
+  factors_.insert(pos, idx);
+}
+
+void FactorMultiset::Multiply(const FactorMultiset& other) {
+  std::vector<uint32_t> merged;
+  merged.reserve(factors_.size() + other.factors_.size());
+  std::merge(factors_.begin(), factors_.end(), other.factors_.begin(),
+             other.factors_.end(), std::back_inserter(merged));
+  factors_ = std::move(merged);
+}
+
+bool FactorMultiset::DivideFactor(uint32_t idx) {
+  const auto pos = std::lower_bound(factors_.begin(), factors_.end(), idx);
+  if (pos == factors_.end() || *pos != idx) return false;
+  factors_.erase(pos);
+  return true;
+}
+
+bool FactorMultiset::Divides(const FactorMultiset& other) const {
+  if (factors_.size() > other.factors_.size()) return false;
+  // Both sorted: a single merge walk checks sub-multiset inclusion.
+  size_t j = 0;
+  for (const uint32_t f : factors_) {
+    while (j < other.factors_.size() && other.factors_[j] < f) ++j;
+    if (j == other.factors_.size() || other.factors_[j] != f) return false;
+    ++j;
+  }
+  return true;
+}
+
+uint64_t FactorMultiset::Hash() const {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const uint32_t f : factors_) h = HashCombine(h, f);
+  return h;
+}
+
+uint64_t FactorMultiset::ProductMod64() const {
+  uint64_t product = 1;
+  for (const uint32_t f : factors_) product *= PrimeTable::Get(f);
+  return product;
+}
+
+std::string FactorMultiset::ToString() const {
+  std::string out = "{";
+  size_t i = 0;
+  bool first = true;
+  while (i < factors_.size()) {
+    size_t j = i;
+    while (j < factors_.size() && factors_[j] == factors_[i]) ++j;
+    if (!first) out += " * ";
+    first = false;
+    out += std::to_string(PrimeTable::Get(factors_[i]));
+    if (j - i > 1) {
+      out += "^";
+      out += std::to_string(j - i);
+    }
+    i = j;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace loom

@@ -1,0 +1,88 @@
+#ifndef LOOM_COMMON_PRIMES_H_
+#define LOOM_COMMON_PRIMES_H_
+
+/// \file
+/// Prime tables and factor multisets — the arithmetic substrate of the
+/// Song-et-al-style number-theoretic graph signatures (paper §4.3).
+///
+/// A graph signature is conceptually a large integer: the product of one
+/// prime factor per graph feature. Real products overflow machine words
+/// almost immediately, so loom represents a signature as the *multiset of
+/// prime indices* instead (`FactorMultiset`). Multiplication becomes multiset
+/// union and divisibility becomes multiset inclusion — exact at any size,
+/// with no big-integer arithmetic.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace loom {
+
+/// Lazily grown table of primes (2, 3, 5, ...), shared process-wide.
+class PrimeTable {
+ public:
+  /// The `i`-th prime (0-based: Get(0) == 2). Grows the sieve on demand.
+  static uint64_t Get(uint32_t i);
+
+  /// Number of primes currently materialised (for tests).
+  static size_t CachedCount();
+
+ private:
+  static void EnsureCount(size_t count);
+};
+
+/// A multiset of prime indices, kept sorted ascending.
+///
+/// Represents the integer `Π prime(idx)` over all contained indices without
+/// ever computing that product exactly. Supports the three operations the
+/// signature scheme needs: multiply by one factor, multiply by another
+/// multiset, and exact divisibility.
+class FactorMultiset {
+ public:
+  FactorMultiset() = default;
+
+  /// Multiset with the given factors (need not be sorted).
+  explicit FactorMultiset(std::vector<uint32_t> factors);
+
+  /// Multiplies by `prime(idx)`: inserts one occurrence of `idx`.
+  void MultiplyFactor(uint32_t idx);
+
+  /// Multiplies by another multiset (multiset union with multiplicity).
+  void Multiply(const FactorMultiset& other);
+
+  /// Divides out one occurrence of `idx`; returns false if absent.
+  bool DivideFactor(uint32_t idx);
+
+  /// True iff `this` divides `other`, i.e. every factor of `this` occurs in
+  /// `other` with at least the same multiplicity.
+  bool Divides(const FactorMultiset& other) const;
+
+  bool operator==(const FactorMultiset& other) const {
+    return factors_ == other.factors_;
+  }
+
+  /// Number of prime factors with multiplicity (Ω of the integer).
+  size_t NumFactors() const { return factors_.size(); }
+
+  bool Empty() const { return factors_.empty(); }
+
+  /// Stable 64-bit hash of the multiset (equal multisets hash equal).
+  uint64_t Hash() const;
+
+  /// The numeric product modulo 2^64 — a fast fingerprint used alongside
+  /// `Hash()`; collisions possible, equality of multisets is authoritative.
+  uint64_t ProductMod64() const;
+
+  /// Sorted factor indices (ascending, with repetition).
+  const std::vector<uint32_t>& factors() const { return factors_; }
+
+  /// Renders e.g. "{2^1 * 5^2}" using prime values, for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::vector<uint32_t> factors_;
+};
+
+}  // namespace loom
+
+#endif  // LOOM_COMMON_PRIMES_H_

@@ -1,0 +1,81 @@
+#ifndef LOOM_COMMON_RESULT_H_
+#define LOOM_COMMON_RESULT_H_
+
+/// \file
+/// `Result<T>`: value-or-Status, the return type of fallible producers.
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace loom {
+
+/// Holds either a successfully produced `T` or the `Status` explaining why
+/// production failed. Mirrors `arrow::Result` / `absl::StatusOr`.
+///
+/// Invariant: when holding a Status, the status is never OK.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from an error status. Must not be OK.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result constructed from OK status");
+  }
+
+  /// True iff a value is held.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status, or OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// Access to the held value; must only be called when `ok()`.
+  const T& value() const& {
+    assert(ok() && "Result::value() on error");
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok() && "Result::value() on error");
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok() && "Result::value() on error");
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` on error.
+  T ValueOr(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace loom
+
+/// Assigns the value of a `Result`-returning expression to `lhs`, or
+/// propagates the error to the caller.
+#define LOOM_ASSIGN_OR_RETURN(lhs, rexpr)                 \
+  LOOM_ASSIGN_OR_RETURN_IMPL_(                            \
+      LOOM_RESULT_CONCAT_(_loom_result_, __LINE__), lhs, rexpr)
+
+#define LOOM_RESULT_CONCAT_INNER_(a, b) a##b
+#define LOOM_RESULT_CONCAT_(a, b) LOOM_RESULT_CONCAT_INNER_(a, b)
+#define LOOM_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#endif  // LOOM_COMMON_RESULT_H_

@@ -1,0 +1,128 @@
+#ifndef LOOM_COMMON_RNG_H_
+#define LOOM_COMMON_RNG_H_
+
+/// \file
+/// Deterministic, seedable randomness for generators, orderings and sampling.
+///
+/// Every stochastic component in loom takes an explicit `Rng&` so that graphs,
+/// streams and experiments are exactly reproducible from a seed. The engine is
+/// xoshiro256**, seeded via SplitMix64 (Blackman & Vigna), which is both fast
+/// and statistically strong — `std::mt19937` is avoided for its size and its
+/// platform-dependent seeding ergonomics.
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace loom {
+
+/// xoshiro256** pseudo-random engine. Satisfies
+/// `std::uniform_random_bit_generator`.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the four 64-bit words of state from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) { Seed(seed); }
+
+  /// Re-seeds the engine deterministically.
+  void Seed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& word : state_) word = SplitMix64(&x);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  /// Next 64 random bits.
+  result_type operator()() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in the closed interval [lo, hi].
+  uint64_t UniformInt(uint64_t lo, uint64_t hi) {
+    assert(lo <= hi);
+    const uint64_t range = hi - lo + 1;
+    if (range == 0) return (*this)();  // full 64-bit range
+    // Lemire-style rejection-free-enough bounded draw with debiasing.
+    uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * range;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < range) {
+      const uint64_t threshold = (0 - range) % range;
+      while (l < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * range;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return lo + static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      const size_t j = static_cast<size_t>(UniformInt(0, i));
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  /// Uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& PickOne(const std::vector<T>& items) {
+    assert(!items.empty());
+    return items[UniformInt(0, items.size() - 1)];
+  }
+
+ private:
+  static uint64_t SplitMix64(uint64_t* x) {
+    uint64_t z = (*x += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+  static uint64_t Rotl(uint64_t v, int k) { return (v << k) | (v >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+/// Samples ranks 0..n-1 with probability proportional to 1/(rank+1)^s —
+/// the usual Zipf / power-law skew for labels and query frequencies.
+class ZipfSampler {
+ public:
+  /// \param n number of distinct ranks; must be >= 1.
+  /// \param s skew exponent; 0 = uniform, larger = more skewed.
+  ZipfSampler(size_t n, double s);
+
+  /// Draws one rank in [0, n).
+  size_t Sample(Rng& rng) const;
+
+  /// Probability mass of rank `r`.
+  double Probability(size_t r) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace loom
+
+#endif  // LOOM_COMMON_RNG_H_

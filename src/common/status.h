@@ -1,0 +1,104 @@
+#ifndef LOOM_COMMON_STATUS_H_
+#define LOOM_COMMON_STATUS_H_
+
+/// \file
+/// Error-handling primitives used throughout loom.
+///
+/// Library code never throws on its normal paths; fallible operations return
+/// a `loom::Status` (or `loom::Result<T>`, see result.h), following the
+/// RocksDB / Apache Arrow idiom for database-grade C++.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace loom {
+
+/// Machine-readable category of a `Status`.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kCapacityExceeded = 5,
+  kFailedPrecondition = 6,
+  kIOError = 7,
+  kInternal = 8,
+};
+
+/// Human-readable name for a status code (e.g. "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// The outcome of a fallible operation: a code plus an optional message.
+///
+/// `Status` is cheap to copy in the OK case (no allocation) and carries a
+/// diagnostic message otherwise. Use the factory functions
+/// (`Status::InvalidArgument(...)` etc.) to construct errors.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Returns an OK status; spelled out for readability at call sites.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+
+  /// Diagnostic message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// Renders "<Code>: <message>" (or "OK").
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace loom
+
+/// Propagates an error `Status` to the caller; evaluates `expr` once.
+#define LOOM_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::loom::Status _loom_status = (expr);     \
+    if (!_loom_status.ok()) return _loom_status; \
+  } while (false)
+
+#endif  // LOOM_COMMON_STATUS_H_

@@ -1,0 +1,47 @@
+#ifndef LOOM_COMMON_TABLE_H_
+#define LOOM_COMMON_TABLE_H_
+
+/// \file
+/// Fixed-width table rendering and CSV export for benchmark harnesses.
+/// Every experiment binary prints its table/figure series through these.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace loom {
+
+/// Collects rows of string cells and prints them column-aligned, in the
+/// style of the tables a paper's evaluation section reports.
+class TablePrinter {
+ public:
+  /// \param title caption printed above the table.
+  /// \param columns header cells.
+  TablePrinter(std::string title, std::vector<std::string> columns);
+
+  /// Appends one row; must have exactly as many cells as there are columns.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the caption, header, separator and all rows.
+  void Print(std::ostream& os) const;
+
+  /// Writes the table as CSV (header + rows) to `path`; best-effort.
+  void WriteCsv(const std::string& path) const;
+
+  size_t NumRows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimal places.
+std::string FormatDouble(double value, int digits = 3);
+
+/// Formats a ratio as a percentage string, e.g. 0.128 -> "12.8%".
+std::string FormatPercent(double ratio, int digits = 1);
+
+}  // namespace loom
+
+#endif  // LOOM_COMMON_TABLE_H_

@@ -1,0 +1,34 @@
+#ifndef LOOM_COMMON_TIMER_H_
+#define LOOM_COMMON_TIMER_H_
+
+/// \file
+/// Wall-clock timing for benchmarks and experiment harnesses.
+
+#include <chrono>
+
+namespace loom {
+
+/// Monotonic stopwatch. Starts running on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last `Restart()`.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace loom
+
+#endif  // LOOM_COMMON_TIMER_H_

@@ -1,0 +1,63 @@
+#ifndef LOOM_CORE_LOOM_OPTIONS_H_
+#define LOOM_CORE_LOOM_OPTIONS_H_
+
+/// \file
+/// Configuration of the LOOM partitioner (RocksDB-style options struct).
+
+#include "matching/stream_matcher.h"
+#include "partition/partitioner.h"
+
+namespace loom {
+
+/// All LOOM knobs in one place. `partitioner` carries the generic streaming
+/// settings (k, capacity, window size); `matcher` the workload-awareness
+/// settings; the booleans below select the §4.4 assignment semantics and the
+/// ablation variants of experiment E8.
+struct LoomOptions {
+  PartitionerOptions partitioner;
+  StreamMatcherOptions matcher;
+
+  /// Assign the transitive closure of overlapping motif matches together
+  /// (§4.4; off = only the matches containing the evicted vertex).
+  bool group_overlapping_matches = true;
+
+  /// Summarise the workload with path motifs only (the original TPSTry
+  /// regime) instead of full TPSTry++ motifs — ablation E8c.
+  bool paths_only = false;
+
+  /// §5 future work, implemented: weight LDG's edge counts by the edge's
+  /// traversal probability from the TPSTry++ (the p-value of the one-edge
+  /// motif with the same label pair), so placement favours partitions the
+  /// workload will actually traverse into.
+  bool use_traversal_weights = false;
+
+  /// Weight given to edges whose label pair never occurs in any query when
+  /// `use_traversal_weights` is on. Non-zero keeps pure-structure cohesion
+  /// as a tie-breaker.
+  double untraversed_edge_weight = 0.05;
+
+  /// §5 future work, implemented: when a motif cluster exceeds every
+  /// partition's free capacity, split it with a local connectivity-aware
+  /// bisection (keeping connected chunks together) instead of degrading to
+  /// vertex-by-vertex assignment.
+  bool local_cluster_split = true;
+};
+
+/// Counters produced by a LOOM run.
+struct LoomStats {
+  /// Vertices assigned as part of a motif cluster.
+  uint64_t cluster_vertices = 0;
+  /// Motif clusters assigned as a unit.
+  uint64_t clusters_assigned = 0;
+  /// Clusters that did not fit any partition and had to be split (the
+  /// paper's §4.4 balance concern; the safety valve loom adds).
+  uint64_t clusters_split = 0;
+  /// Connected chunks produced by local cluster splitting.
+  uint64_t split_chunks = 0;
+  /// Vertices assigned individually by plain LDG.
+  uint64_t single_vertices = 0;
+};
+
+}  // namespace loom
+
+#endif  // LOOM_CORE_LOOM_OPTIONS_H_

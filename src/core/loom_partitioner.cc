@@ -1,0 +1,213 @@
+#include "core/loom_partitioner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <unordered_set>
+
+namespace loom {
+
+LoomPartitioner::LoomPartitioner(const LoomOptions& options,
+                                 const TpstryPP* trie)
+    : StreamingPartitioner(options.partitioner),
+      loom_options_(options),
+      window_(options.partitioner.window_size),
+      matcher_(trie, options.matcher),
+      scores_(options.partitioner.k, 0.0),
+      trie_(trie) {
+  if (loom_options_.use_traversal_weights) {
+    // The traversal probability of an edge with labels (a, b) is the
+    // p-value of the corresponding one-edge motif (§5 future work).
+    for (TpstryNodeId id = 0; id < trie_->NumNodes(); ++id) {
+      const TpstryNode& node = trie_->node(id);
+      if (node.num_edges != 1) continue;
+      const Label a = node.motif.LabelOf(0);
+      const Label b = node.motif.LabelOf(1);
+      edge_weight_[trie_->scheme().EdgeFactor(a, b)] = node.support;
+    }
+  }
+}
+
+void LoomPartitioner::OnVertex(VertexId v, Label label,
+                               const std::vector<VertexId>& back_edges) {
+  if (v >= label_of_.size()) label_of_.resize(v + 1, 0);
+  label_of_[v] = label;
+
+  if (window_.Full()) EvictOldest();
+
+  window_.Push(v, label, back_edges);
+  // The matcher only sees the in-window part of the neighbourhood; edges to
+  // already-assigned vertices cannot belong to a window motif match.
+  std::vector<VertexId> in_window;
+  in_window.reserve(back_edges.size());
+  for (const VertexId w : back_edges) {
+    if (w != v && window_.Contains(w)) in_window.push_back(w);
+  }
+  matcher_.OnVertex(v, label, in_window);
+}
+
+void LoomPartitioner::Finish() {
+  while (!window_.Empty()) EvictOldest();
+}
+
+double LoomPartitioner::EdgeWeightTo(Label member_label, VertexId w) const {
+  if (!loom_options_.use_traversal_weights) return 1.0;
+  const Label wl = w < label_of_.size() ? label_of_[w] : 0;
+  if (member_label >= trie_->scheme().num_labels() ||
+      wl >= trie_->scheme().num_labels()) {
+    return loom_options_.untraversed_edge_weight;
+  }
+  const auto it =
+      edge_weight_.find(trie_->scheme().EdgeFactor(member_label, wl));
+  return it == edge_weight_.end() ? loom_options_.untraversed_edge_weight
+                                  : std::max(it->second,
+                                             loom_options_.untraversed_edge_weight);
+}
+
+void LoomPartitioner::ScoreVertices(const std::vector<VertexId>& vertices,
+                                    std::vector<double>* scores) const {
+  std::fill(scores->begin(), scores->end(), 0.0);
+  for (const VertexId member : vertices) {
+    const WindowMember& m = window_.Get(member);
+    for (const VertexId w : m.neighbors) {
+      const int32_t p = assignment_.PartOf(w);
+      if (p >= 0) {
+        (*scores)[static_cast<uint32_t>(p)] += EdgeWeightTo(m.label, w);
+      }
+    }
+  }
+}
+
+void LoomPartitioner::EvictOldest() {
+  const VertexId oldest = window_.Oldest();
+  const std::vector<VertexId> closure = matcher_.MatchClosureFor(
+      oldest, loom_options_.group_overlapping_matches);
+
+  if (closure.empty()) {
+    const WindowMember member = window_.Remove(oldest);
+    matcher_.RemoveVertex(oldest);
+    AssignSingle(member);
+    ++stats_.single_vertices;
+    return;
+  }
+
+  // Cluster = evicted vertex plus its motif closure (all window members).
+  std::vector<VertexId> cluster = {oldest};
+  cluster.insert(cluster.end(), closure.begin(), closure.end());
+
+  // Cluster-LDG (§4.1 footnote: "LDG considers the total edges from all
+  // vertices, to each partition").
+  ScoreVertices(cluster, &scores_);
+  const uint32_t part =
+      PickLdgPartitionWeighted(assignment_, scores_, cluster.size());
+  if (part < assignment_.k()) {
+    AssignCluster(cluster, part);
+    ++stats_.clusters_assigned;
+    stats_.cluster_vertices += cluster.size();
+    return;
+  }
+
+  // No partition can hold the whole cluster (§4.4's balance risk).
+  ++stats_.clusters_split;
+  if (loom_options_.local_cluster_split) {
+    SplitAndAssignCluster(cluster);
+    return;
+  }
+  // Fallback: oldest-first, one vertex at a time by plain LDG.
+  std::sort(cluster.begin(), cluster.end(), [this](VertexId a, VertexId b) {
+    return window_.Get(a).arrival_seq < window_.Get(b).arrival_seq;
+  });
+  for (const VertexId member : cluster) {
+    const WindowMember m = window_.Remove(member);
+    matcher_.RemoveVertex(member);
+    AssignSingle(m);
+    ++stats_.single_vertices;
+  }
+}
+
+void LoomPartitioner::SplitAndAssignCluster(
+    const std::vector<VertexId>& cluster) {
+  // Connectivity-aware chunking (§5 "local partitioning procedure for large
+  // matched sub-graphs"): BFS over the cluster's window-internal adjacency
+  // grows connected chunks no larger than the largest free capacity, so each
+  // chunk is assigned as a unit and whole sub-structures stay together.
+  size_t max_free = 0;
+  for (uint32_t p = 0; p < assignment_.k(); ++p) {
+    max_free = std::max(max_free, assignment_.FreeCapacity(p));
+  }
+  assert(max_free >= 1 && "capacity misconfigured: no free slot at all");
+  const size_t chunk_cap = std::max<size_t>(1, max_free);
+
+  const std::unordered_set<VertexId> in_cluster(cluster.begin(),
+                                                cluster.end());
+  std::unordered_set<VertexId> unplaced(cluster.begin(), cluster.end());
+  // Deterministic seeding: oldest member first.
+  std::vector<VertexId> seeds = cluster;
+  std::sort(seeds.begin(), seeds.end(), [this](VertexId a, VertexId b) {
+    return window_.Get(a).arrival_seq < window_.Get(b).arrival_seq;
+  });
+
+  for (const VertexId seed : seeds) {
+    if (unplaced.count(seed) == 0) continue;
+    std::vector<VertexId> chunk;
+    std::deque<VertexId> frontier = {seed};
+    while (!frontier.empty() && chunk.size() < chunk_cap) {
+      const VertexId v = frontier.front();
+      frontier.pop_front();
+      if (unplaced.count(v) == 0) continue;
+      unplaced.erase(v);
+      chunk.push_back(v);
+      for (const VertexId w : window_.Get(v).neighbors) {
+        if (in_cluster.count(w) > 0 && unplaced.count(w) > 0) {
+          frontier.push_back(w);
+        }
+      }
+    }
+    if (chunk.empty()) continue;
+    ScoreVertices(chunk, &scores_);
+    const uint32_t part =
+        PickLdgPartitionWeighted(assignment_, scores_, chunk.size());
+    ++stats_.split_chunks;
+    if (part < assignment_.k()) {
+      AssignCluster(chunk, part);
+      stats_.cluster_vertices += chunk.size();
+    } else {
+      // Even the chunk does not fit anywhere as a unit: place its members
+      // individually (capacity-total guarantees a slot per vertex).
+      for (const VertexId member : chunk) {
+        const WindowMember m = window_.Remove(member);
+        matcher_.RemoveVertex(member);
+        AssignSingle(m);
+        ++stats_.single_vertices;
+      }
+    }
+  }
+}
+
+void LoomPartitioner::AssignSingle(const WindowMember& member) {
+  std::fill(scores_.begin(), scores_.end(), 0.0);
+  for (const VertexId w : member.neighbors) {
+    const int32_t p = assignment_.PartOf(w);
+    if (p >= 0) {
+      scores_[static_cast<uint32_t>(p)] += EdgeWeightTo(member.label, w);
+    }
+  }
+  const uint32_t part = PickLdgPartitionWeighted(assignment_, scores_);
+  assert(part < assignment_.k() && "all partitions full");
+  const Status s = assignment_.Assign(member.id, part);
+  assert(s.ok());
+  (void)s;
+}
+
+void LoomPartitioner::AssignCluster(const std::vector<VertexId>& cluster,
+                                    uint32_t part) {
+  for (const VertexId member : cluster) {
+    window_.Remove(member);
+    matcher_.RemoveVertex(member);
+    const Status s = assignment_.Assign(member, part);
+    assert(s.ok());
+    (void)s;
+  }
+}
+
+}  // namespace loom

@@ -1,0 +1,88 @@
+#ifndef LOOM_CORE_LOOM_PARTITIONER_H_
+#define LOOM_CORE_LOOM_PARTITIONER_H_
+
+/// \file
+/// The LOOM streaming partitioner (paper §4): windowed LDG whose unit of
+/// assignment is a *motif match* instead of a single vertex whenever the
+/// workload summary says the local structure will be traversed.
+///
+/// Per arrival:
+///   1. if the window is full, evict the oldest vertex;
+///   2. on eviction, ask the stream matcher for the motif-match closure of
+///      the evicted vertex (§4.4): when non-empty, assign the whole cluster
+///      to one partition chosen by cluster-LDG (total external edges,
+///      free-capacity weighted); otherwise assign the single vertex by LDG;
+///   3. buffer the new arrival and feed the matcher.
+///
+/// A cluster too large for any partition's remaining capacity is split and
+/// assigned vertex-by-vertex — the safety valve for the balance risk the
+/// paper flags as future work (§4.4, §5).
+
+#include <memory>
+#include <unordered_map>
+
+#include "core/loom_options.h"
+#include "matching/stream_matcher.h"
+#include "partition/partitioner.h"
+#include "stream/window.h"
+#include "tpstry/tpstry_pp.h"
+
+namespace loom {
+
+/// Workload-aware streaming partitioner.
+class LoomPartitioner : public StreamingPartitioner {
+ public:
+  /// \param trie workload summary (must outlive the partitioner).
+  LoomPartitioner(const LoomOptions& options, const TpstryPP* trie);
+
+  void OnVertex(VertexId v, Label label,
+                const std::vector<VertexId>& back_edges) override;
+
+  void Finish() override;
+
+  std::string Name() const override { return "loom"; }
+
+  const LoomStats& loom_stats() const { return stats_; }
+  const StreamMatcherStats& matcher_stats() const { return matcher_.stats(); }
+
+ private:
+  /// Assigns the oldest window member (with its motif closure, if any).
+  void EvictOldest();
+
+  /// LDG assignment of one evicted member using all edges seen for it.
+  void AssignSingle(const WindowMember& member);
+
+  /// Assigns every cluster vertex to `part`, removing them from window and
+  /// matcher.
+  void AssignCluster(const std::vector<VertexId>& cluster, uint32_t part);
+
+  /// §5 future work: splits an oversized cluster into connected chunks that
+  /// fit the remaining capacities and assigns each chunk as a unit.
+  void SplitAndAssignCluster(const std::vector<VertexId>& cluster);
+
+  /// Traversal weight of an edge to neighbour `w` (1.0 when traversal
+  /// weighting is disabled; the label-pair p-value otherwise).
+  double EdgeWeightTo(Label member_label, VertexId w) const;
+
+  /// Accumulates the (possibly weighted) LDG scores of `vertices`' edges
+  /// into each partition. Only edges to assigned vertices count.
+  void ScoreVertices(const std::vector<VertexId>& vertices,
+                     std::vector<double>* scores) const;
+
+  LoomOptions loom_options_;
+  StreamWindow window_;
+  StreamMatcher matcher_;
+  LoomStats stats_;
+  std::vector<double> scores_;
+  /// Label of every vertex ever seen (index = VertexId); needed to weight
+  /// edges towards already-assigned endpoints.
+  std::vector<Label> label_of_;
+  /// Traversal probability per signature edge-factor index (from the trie's
+  /// one-edge motifs); empty when weighting is disabled.
+  std::unordered_map<uint32_t, double> edge_weight_;
+  const TpstryPP* trie_;
+};
+
+}  // namespace loom
+
+#endif  // LOOM_CORE_LOOM_PARTITIONER_H_

@@ -1,0 +1,271 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/hash.h"
+
+namespace loom {
+namespace {
+
+/// Adds n labelled vertices to an empty graph.
+LabeledGraph MakeVertices(uint32_t n, const LabelConfig& labels, Rng& rng) {
+  LabeledGraph g;
+  for (uint32_t i = 0; i < n; ++i) g.AddVertex(DrawLabel(labels, rng));
+  return g;
+}
+
+uint64_t EdgeKey(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+Label DrawLabel(const LabelConfig& config, Rng& rng) {
+  assert(config.num_labels >= 1);
+  if (config.zipf_skew <= 0.0) {
+    return static_cast<Label>(rng.UniformInt(0, config.num_labels - 1));
+  }
+  // Cache-free Zipf draw: rebuild is cheap for the small label counts used.
+  const ZipfSampler sampler(config.num_labels, config.zipf_skew);
+  return static_cast<Label>(sampler.Sample(rng));
+}
+
+LabeledGraph ErdosRenyiGnp(uint32_t n, double p, const LabelConfig& labels,
+                           Rng& rng) {
+  LabeledGraph g = MakeVertices(n, labels, rng);
+  if (p <= 0.0 || n < 2) return g;
+  if (p >= 1.0) {
+    for (VertexId u = 0; u < n; ++u) {
+      for (VertexId v = u + 1; v < n; ++v) g.AddEdgeUnchecked(u, v);
+    }
+    return g;
+  }
+  // Geometric skipping over the implicit list of all vertex pairs.
+  const double log1mp = std::log(1.0 - p);
+  int64_t v = 1;
+  int64_t w = -1;
+  while (static_cast<uint64_t>(v) < n) {
+    const double r = 1.0 - rng.UniformDouble();  // in (0, 1]
+    w += 1 + static_cast<int64_t>(std::floor(std::log(r) / log1mp));
+    while (w >= v && static_cast<uint64_t>(v) < n) {
+      w -= v;
+      ++v;
+    }
+    if (static_cast<uint64_t>(v) < n) {
+      g.AddEdgeUnchecked(static_cast<VertexId>(v), static_cast<VertexId>(w));
+    }
+  }
+  return g;
+}
+
+LabeledGraph ErdosRenyiGnm(uint32_t n, uint64_t m, const LabelConfig& labels,
+                           Rng& rng) {
+  LabeledGraph g = MakeVertices(n, labels, rng);
+  if (n < 2) return g;
+  const uint64_t max_edges = static_cast<uint64_t>(n) * (n - 1) / 2;
+  m = std::min(m, max_edges);
+  std::unordered_set<uint64_t> used;
+  used.reserve(m * 2);
+  while (g.NumEdges() < m) {
+    const VertexId u = static_cast<VertexId>(rng.UniformInt(0, n - 1));
+    const VertexId v = static_cast<VertexId>(rng.UniformInt(0, n - 1));
+    if (u == v) continue;
+    if (!used.insert(EdgeKey(u, v)).second) continue;
+    g.AddEdgeUnchecked(u, v);
+  }
+  return g;
+}
+
+LabeledGraph BarabasiAlbert(uint32_t n, uint32_t edges_per_vertex,
+                            const LabelConfig& labels, Rng& rng) {
+  const uint32_t m0 = std::max<uint32_t>(edges_per_vertex, 2);
+  LabeledGraph g = MakeVertices(std::min(n, m0), labels, rng);
+  // Repeated-endpoint list: sampling uniformly from it is degree-proportional.
+  std::vector<VertexId> endpoint_pool;
+  for (VertexId u = 0; u + 1 < g.NumVertices(); ++u) {
+    g.AddEdgeUnchecked(u, u + 1);
+    endpoint_pool.push_back(u);
+    endpoint_pool.push_back(u + 1);
+  }
+  for (uint32_t i = static_cast<uint32_t>(g.NumVertices()); i < n; ++i) {
+    const VertexId v = g.AddVertex(DrawLabel(labels, rng));
+    std::unordered_set<VertexId> targets;
+    const uint32_t want = std::min<uint32_t>(edges_per_vertex, i);
+    size_t attempts = 0;
+    while (targets.size() < want && attempts < 64u * want) {
+      ++attempts;
+      const VertexId t = endpoint_pool.empty()
+                             ? static_cast<VertexId>(rng.UniformInt(0, i - 1))
+                             : rng.PickOne(endpoint_pool);
+      if (t != v) targets.insert(t);
+    }
+    for (const VertexId t : targets) {
+      g.AddEdgeUnchecked(v, t);
+      endpoint_pool.push_back(v);
+      endpoint_pool.push_back(t);
+    }
+  }
+  return g;
+}
+
+LabeledGraph WattsStrogatz(uint32_t n, uint32_t k_nearest, double beta,
+                           const LabelConfig& labels, Rng& rng) {
+  LabeledGraph g = MakeVertices(n, labels, rng);
+  if (n < 3) return g;
+  k_nearest = std::min(k_nearest, (n - 1) / 2);
+  for (VertexId u = 0; u < n; ++u) {
+    for (uint32_t d = 1; d <= k_nearest; ++d) {
+      VertexId v = (u + d) % n;
+      if (rng.Bernoulli(beta)) {
+        // Rewire to a uniform non-neighbour (bounded retries keep it O(1)).
+        for (int tries = 0; tries < 32; ++tries) {
+          const VertexId w = static_cast<VertexId>(rng.UniformInt(0, n - 1));
+          if (w != u && !g.HasEdge(u, w)) {
+            v = w;
+            break;
+          }
+        }
+      }
+      if (!g.HasEdge(u, v) && u != v) g.AddEdgeUnchecked(u, v);
+    }
+  }
+  return g;
+}
+
+LabeledGraph RMat(uint32_t scale, uint32_t edge_factor, double a, double b,
+                  double c, const LabelConfig& labels, Rng& rng) {
+  const uint64_t n = 1ull << scale;
+  LabeledGraph g = MakeVertices(static_cast<uint32_t>(n), labels, rng);
+  const uint64_t target = edge_factor * n;
+  std::unordered_set<uint64_t> used;
+  used.reserve(target * 2);
+  uint64_t attempts = 0;
+  while (g.NumEdges() < target && attempts < target * 8) {
+    ++attempts;
+    uint64_t u = 0;
+    uint64_t v = 0;
+    for (uint32_t bit = 0; bit < scale; ++bit) {
+      const double r = rng.UniformDouble();
+      if (r < a) {
+        // upper-left quadrant: no bits set
+      } else if (r < a + b) {
+        v |= 1ull << bit;
+      } else if (r < a + b + c) {
+        u |= 1ull << bit;
+      } else {
+        u |= 1ull << bit;
+        v |= 1ull << bit;
+      }
+    }
+    if (u == v) continue;
+    if (!used.insert(EdgeKey(static_cast<VertexId>(u),
+                             static_cast<VertexId>(v)))
+             .second) {
+      continue;
+    }
+    g.AddEdgeUnchecked(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+  return g;
+}
+
+LabeledGraph Grid2D(uint32_t rows, uint32_t cols, const LabelConfig& labels,
+                    Rng& rng) {
+  LabeledGraph g = MakeVertices(rows * cols, labels, rng);
+  auto id = [cols](uint32_t r, uint32_t c) {
+    return static_cast<VertexId>(r * cols + c);
+  };
+  for (uint32_t r = 0; r < rows; ++r) {
+    for (uint32_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.AddEdgeUnchecked(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.AddEdgeUnchecked(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+LabeledGraph Ring(uint32_t n, const LabelConfig& labels, Rng& rng) {
+  LabeledGraph g = MakeVertices(n, labels, rng);
+  if (n < 2) return g;
+  for (VertexId u = 0; u + 1 < n; ++u) g.AddEdgeUnchecked(u, u + 1);
+  if (n > 2) g.AddEdgeUnchecked(n - 1, 0);
+  return g;
+}
+
+LabeledGraph Complete(uint32_t n, const LabelConfig& labels, Rng& rng) {
+  LabeledGraph g = MakeVertices(n, labels, rng);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) g.AddEdgeUnchecked(u, v);
+  }
+  return g;
+}
+
+LabeledGraph RandomTree(uint32_t n, const LabelConfig& labels, Rng& rng) {
+  LabeledGraph g = MakeVertices(n, labels, rng);
+  for (VertexId v = 1; v < n; ++v) {
+    g.AddEdgeUnchecked(v, static_cast<VertexId>(rng.UniformInt(0, v - 1)));
+  }
+  return g;
+}
+
+std::vector<PlantedMotif> PlantMotifs(LabeledGraph* g,
+                                      const LabeledGraph& motif, uint32_t count,
+                                      Rng& rng, uint32_t locality_span) {
+  std::vector<PlantedMotif> planted;
+  const uint32_t mv_count = static_cast<uint32_t>(motif.NumVertices());
+  if (mv_count == 0 || g->NumVertices() < mv_count) return planted;
+  const uint32_t n = static_cast<uint32_t>(g->NumVertices());
+
+  std::vector<bool> used(n, false);
+  // Global shuffled pool for the scattered (span = 0) mode.
+  std::vector<VertexId> candidates(n);
+  for (VertexId v = 0; v < n; ++v) candidates[v] = v;
+  rng.Shuffle(&candidates);
+
+  const uint32_t span =
+      locality_span == 0 ? 0 : std::max(locality_span, mv_count);
+  size_t next = 0;
+  uint32_t attempts = 0;
+  for (uint32_t i = 0; i < count && attempts < 64u * count;) {
+    ++attempts;
+    PlantedMotif p;
+    if (span == 0) {
+      while (next < candidates.size() && used[candidates[next]]) ++next;
+      if (next + mv_count > candidates.size()) break;
+      p.embedding.assign(candidates.begin() + next,
+                         candidates.begin() + next + mv_count);
+      next += mv_count;
+    } else {
+      // Draw the instance from one window of consecutive ids.
+      const VertexId start =
+          static_cast<VertexId>(rng.UniformInt(0, n - span));
+      std::vector<VertexId> free;
+      for (VertexId v = start; v < start + span; ++v) {
+        if (!used[v]) free.push_back(v);
+      }
+      if (free.size() < mv_count) continue;  // crowded window; redraw
+      rng.Shuffle(&free);
+      p.embedding.assign(free.begin(), free.begin() + mv_count);
+    }
+    bool clash = false;
+    for (const VertexId v : p.embedding) clash = clash || used[v];
+    if (clash) continue;
+    for (const VertexId v : p.embedding) used[v] = true;
+    ++i;
+    for (VertexId mv = 0; mv < mv_count; ++mv) {
+      g->SetLabel(p.embedding[mv], motif.LabelOf(mv));
+    }
+    motif.ForEachEdge([&](VertexId mu, VertexId mv) {
+      const VertexId du = p.embedding[mu];
+      const VertexId dv = p.embedding[mv];
+      if (!g->HasEdge(du, dv)) g->AddEdgeUnchecked(du, dv);
+    });
+    planted.push_back(std::move(p));
+  }
+  return planted;
+}
+
+}  // namespace loom

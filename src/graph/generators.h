@@ -1,0 +1,96 @@
+#ifndef LOOM_GRAPH_GENERATORS_H_
+#define LOOM_GRAPH_GENERATORS_H_
+
+/// \file
+/// Synthetic graph generators used by tests, examples and the experiment
+/// harness. The paper evaluates on "web hyperlinks, social network users,
+/// protein interaction networks" — all power-law-ish; Barabási–Albert and
+/// R-MAT stand in for those, Erdős–Rényi / Watts–Strogatz / grids provide
+/// contrast, and `PlantMotifs` creates graphs with a controlled density of
+/// workload motifs (the structures LOOM exists to keep intact).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace loom {
+
+/// How vertex labels are drawn.
+struct LabelConfig {
+  /// Number of distinct labels (>= 1).
+  uint32_t num_labels = 4;
+  /// Zipf skew across labels; 0 = uniform.
+  double zipf_skew = 0.0;
+};
+
+/// Draws a label according to `config`.
+Label DrawLabel(const LabelConfig& config, Rng& rng);
+
+/// Erdős–Rényi G(n, p): each of the n(n-1)/2 edges present independently
+/// with probability p. Uses geometric skipping, O(n + m).
+LabeledGraph ErdosRenyiGnp(uint32_t n, double p, const LabelConfig& labels,
+                           Rng& rng);
+
+/// Erdős–Rényi G(n, m): exactly m distinct uniform edges.
+LabeledGraph ErdosRenyiGnm(uint32_t n, uint64_t m, const LabelConfig& labels,
+                           Rng& rng);
+
+/// Barabási–Albert preferential attachment: starts from a small clique and
+/// attaches each new vertex to `edges_per_vertex` existing vertices chosen
+/// proportionally to degree. Vertex ids are in arrival order, so id order is
+/// the natural "stochastic" stream ordering (§3.1).
+LabeledGraph BarabasiAlbert(uint32_t n, uint32_t edges_per_vertex,
+                            const LabelConfig& labels, Rng& rng);
+
+/// Watts–Strogatz small world: ring lattice with `k_nearest` neighbours per
+/// side, each edge rewired with probability `beta`.
+LabeledGraph WattsStrogatz(uint32_t n, uint32_t k_nearest, double beta,
+                           const LabelConfig& labels, Rng& rng);
+
+/// R-MAT / Kronecker-style power-law generator: 2^scale vertices,
+/// `edge_factor * 2^scale` sampled edges (duplicates and self-loops dropped),
+/// with quadrant probabilities (a, b, c, implicit d).
+LabeledGraph RMat(uint32_t scale, uint32_t edge_factor, double a, double b,
+                  double c, const LabelConfig& labels, Rng& rng);
+
+/// rows x cols 2D grid (4-neighbourhood).
+LabeledGraph Grid2D(uint32_t rows, uint32_t cols, const LabelConfig& labels,
+                    Rng& rng);
+
+/// Simple ring over n vertices.
+LabeledGraph Ring(uint32_t n, const LabelConfig& labels, Rng& rng);
+
+/// Complete graph K_n.
+LabeledGraph Complete(uint32_t n, const LabelConfig& labels, Rng& rng);
+
+/// Random tree: vertex i attaches to a uniform earlier vertex.
+LabeledGraph RandomTree(uint32_t n, const LabelConfig& labels, Rng& rng);
+
+/// One planted occurrence of `motif` in `g`.
+struct PlantedMotif {
+  /// For each motif vertex, the data-graph vertex realising it.
+  std::vector<VertexId> embedding;
+};
+
+/// Plants `count` vertex-disjoint copies of `motif` into `g`: picks unused
+/// vertices, overwrites their labels to match, and inserts the motif's edges
+/// (existing extra edges are left in place; embeddings stay valid because
+/// pattern matching is non-induced). Returns the embeddings actually planted
+/// (fewer than `count` if `g` runs out of vertices).
+///
+/// `locality_span` controls temporal locality: 0 scatters instances over the
+/// whole id range; a positive value draws each instance's vertices from a
+/// random window of that many consecutive ids. Since generative models assign
+/// ids in arrival order, id-local instances are *temporally* local in natural
+/// or stochastic stream orderings — the regime the paper targets (motifs
+/// created together, e.g. a fraud ring's transactions or a new user joining
+/// their friends, fit inside LOOM's stream window).
+std::vector<PlantedMotif> PlantMotifs(LabeledGraph* g,
+                                      const LabeledGraph& motif, uint32_t count,
+                                      Rng& rng, uint32_t locality_span = 0);
+
+}  // namespace loom
+
+#endif  // LOOM_GRAPH_GENERATORS_H_

@@ -1,0 +1,69 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace loom {
+
+Status SaveGraph(const LabeledGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out << "loom-graph 1\n";
+  out << "n " << g.NumVertices() << "\n";
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    out << "l " << v << " " << g.LabelOf(v) << "\n";
+  }
+  g.ForEachEdge([&](VertexId u, VertexId v) {
+    out << "e " << u << " " << v << "\n";
+  });
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<LabeledGraph> LoadGraph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("loom-graph", 0) != 0) {
+    return Status::InvalidArgument("missing loom-graph header: " + path);
+  }
+
+  LabeledGraph g;
+  size_t declared_n = 0;
+  bool vertices_made = false;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    char kind = 0;
+    ss >> kind;
+    auto fail = [&](const std::string& why) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": " + why);
+    };
+    if (kind == 'n') {
+      if (!(ss >> declared_n)) return fail("bad vertex count");
+      for (size_t i = 0; i < declared_n; ++i) g.AddVertex(0);
+      vertices_made = true;
+    } else if (kind == 'l') {
+      VertexId v = 0;
+      Label l = 0;
+      if (!(ss >> v >> l)) return fail("bad label line");
+      if (!vertices_made || !g.HasVertex(v)) return fail("label before n");
+      g.SetLabel(v, l);
+    } else if (kind == 'e') {
+      VertexId u = 0;
+      VertexId v = 0;
+      if (!(ss >> u >> v)) return fail("bad edge line");
+      const Status s = g.AddEdge(u, v);
+      if (!s.ok()) return fail("edge rejected: " + s.ToString());
+    } else {
+      return fail("unknown record kind");
+    }
+  }
+  return g;
+}
+
+}  // namespace loom

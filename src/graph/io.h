@@ -1,0 +1,30 @@
+#ifndef LOOM_GRAPH_IO_H_
+#define LOOM_GRAPH_IO_H_
+
+/// \file
+/// Labelled edge-list serialization.
+///
+/// Format (text, line-oriented, '#' comments allowed):
+///
+///     loom-graph 1
+///     n <num_vertices>
+///     l <vertex> <label>        (one per vertex; default label 0)
+///     e <u> <v>                 (one per undirected edge)
+
+#include <string>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace loom {
+
+/// Writes `g` to `path` in the loom-graph format.
+Status SaveGraph(const LabeledGraph& g, const std::string& path);
+
+/// Reads a graph from `path`; fails with IOError / InvalidArgument on
+/// malformed input.
+Result<LabeledGraph> LoadGraph(const std::string& path);
+
+}  // namespace loom
+
+#endif  // LOOM_GRAPH_IO_H_

@@ -1,0 +1,360 @@
+#include "matching/stream_matcher.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "motif/canonical.h"
+
+namespace loom {
+namespace {
+
+uint64_t EdgeBits(const Edge& e) {
+  const Edge n = e.Normalized();
+  return (static_cast<uint64_t>(n.u) << 32) | n.v;
+}
+
+bool ContainsVertex(const std::vector<VertexId>& sorted, VertexId v) {
+  return std::binary_search(sorted.begin(), sorted.end(), v);
+}
+
+bool ContainsEdge(const std::vector<Edge>& sorted_edges, const Edge& e) {
+  // Edge lists are kept sorted by their 64-bit normalized encoding.
+  const uint64_t bits = EdgeBits(e);
+  const auto it = std::lower_bound(
+      sorted_edges.begin(), sorted_edges.end(), bits,
+      [](const Edge& x, uint64_t b) { return EdgeBits(x) < b; });
+  return it != sorted_edges.end() && EdgeBits(*it) == bits;
+}
+
+}  // namespace
+
+StreamMatcher::StreamMatcher(const TpstryPP* trie,
+                             const StreamMatcherOptions& options)
+    : trie_(trie), options_(options) {
+  frequent_ = trie_->FrequentBitmap(options_.frequency_threshold);
+  useful_ = trie_->UsefulBitmap(options_.frequency_threshold);
+}
+
+uint64_t StreamMatcher::KeyOf(const std::vector<Edge>& edges) {
+  uint64_t h = 0x9E3779B97F4A7C15ull;
+  for (const Edge& e : edges) h = HashCombine(h, EdgeBits(e));
+  return h;
+}
+
+Label StreamMatcher::LabelIn(VertexId v) const {
+  const auto it = labels_.find(v);
+  assert(it != labels_.end());
+  return it->second;
+}
+
+void StreamMatcher::OnVertex(VertexId v, Label label,
+                             const std::vector<VertexId>& window_back_edges) {
+  labels_.emplace(v, label);
+  adjacency_.emplace(v, std::vector<VertexId>{});
+  for (const VertexId w : window_back_edges) {
+    assert(labels_.count(w) > 0 && "back edge endpoint not in window");
+    adjacency_[v].push_back(w);
+    adjacency_[w].push_back(v);
+  }
+  for (const VertexId w : window_back_edges) ProcessEdge(w, v);
+}
+
+bool StreamMatcher::ResolveNode(Tracked* t) const {
+  if (options_.verify_exact) {
+    const std::string canon = CanonicalOf(*t);
+    const auto node = trie_->FindBySignature(t->signature, &canon);
+    if (!node.has_value()) return false;
+    t->node = *node;
+  } else {
+    const auto node = trie_->FindBySignature(t->signature);
+    if (!node.has_value()) return false;
+    t->node = *node;
+  }
+  // A node from which no frequent node is reachable can neither be a motif
+  // match nor grow into one — refuse to track it.
+  if (!useful_[t->node]) return false;
+  t->frequent = frequent_[t->node];
+  return true;
+}
+
+std::string StreamMatcher::CanonicalOf(const Tracked& t) const {
+  LabeledGraph g;
+  std::unordered_map<VertexId, VertexId> local;
+  for (const VertexId v : t.vertices) {
+    local.emplace(v, g.AddVertex(LabelIn(v)));
+  }
+  for (const Edge& e : t.edges) {
+    g.AddEdgeUnchecked(local.at(e.u), local.at(e.v));
+  }
+  auto canon = CanonicalForm(g);
+  return canon.ok() ? std::move(canon).value() : std::string();
+}
+
+bool StreamMatcher::Insert(Tracked t) {
+  if (tracked_.size() >= options_.max_tracked) {
+    ++stats_.tracked_dropped;
+    return false;
+  }
+  const uint64_t key = KeyOf(t.edges);
+  if (tracked_.count(key) > 0) return false;
+  // Per-vertex saturation valve: bounds growth work in motif-dense windows.
+  // The index uses lazy deletion, so compact each list before judging it.
+  for (const VertexId v : t.vertices) {
+    const auto it = by_vertex_.find(v);
+    if (it == by_vertex_.end()) continue;
+    if (it->second.size() >= options_.max_tracked_per_vertex) {
+      auto& keys = it->second;
+      keys.erase(std::remove_if(keys.begin(), keys.end(),
+                                [this](uint64_t k) {
+                                  return tracked_.count(k) == 0;
+                                }),
+                 keys.end());
+      if (keys.size() >= options_.max_tracked_per_vertex) {
+        ++stats_.tracked_dropped;
+        return false;
+      }
+    }
+  }
+  for (const VertexId v : t.vertices) by_vertex_[v].push_back(key);
+  tracked_.emplace(key, std::move(t));
+  stats_.max_tracked_live =
+      std::max(stats_.max_tracked_live, static_cast<uint64_t>(tracked_.size()));
+  return true;
+}
+
+bool StreamMatcher::TryGrow(const Tracked& base, VertexId u, VertexId v) {
+  const Edge e = Edge{u, v}.Normalized();
+  if (ContainsEdge(base.edges, e)) return false;
+  const bool has_u = ContainsVertex(base.vertices, e.u);
+  const bool has_v = ContainsVertex(base.vertices, e.v);
+  if (!has_u && !has_v) return false;  // edge not incident to the sub-graph
+
+  Tracked grown;
+  grown.edges = base.edges;
+  grown.edges.push_back(e);
+  std::sort(grown.edges.begin(), grown.edges.end(),
+            [](const Edge& a, const Edge& b) {
+              return EdgeBits(a) < EdgeBits(b);
+            });
+  grown.vertices = base.vertices;
+  grown.signature = base.signature;
+  const SignatureScheme& scheme = trie_->scheme();
+  if (!has_u) {
+    grown.vertices.push_back(e.u);
+    scheme.MultiplyVertex(&grown.signature, LabelIn(e.u));
+  }
+  if (!has_v) {
+    grown.vertices.push_back(e.v);
+    scheme.MultiplyVertex(&grown.signature, LabelIn(e.v));
+  }
+  std::sort(grown.vertices.begin(), grown.vertices.end());
+  scheme.MultiplyEdge(&grown.signature, LabelIn(e.u), LabelIn(e.v));
+
+  if (!ResolveNode(&grown)) {
+    ++stats_.growths_rejected;
+    return false;
+  }
+  ++stats_.growths_accepted;
+  Insert(std::move(grown));
+  return true;
+}
+
+void StreamMatcher::ProcessEdge(VertexId u, VertexId v) {
+  ++stats_.edges_processed;
+
+  // Candidate bases: every tracked sub-graph touching either endpoint.
+  std::vector<uint64_t> candidate_keys;
+  for (const VertexId x : {u, v}) {
+    const auto it = by_vertex_.find(x);
+    if (it == by_vertex_.end()) continue;
+    candidate_keys.insert(candidate_keys.end(), it->second.begin(),
+                          it->second.end());
+  }
+  std::sort(candidate_keys.begin(), candidate_keys.end());
+  candidate_keys.erase(
+      std::unique(candidate_keys.begin(), candidate_keys.end()),
+      candidate_keys.end());
+
+  // §4.3: each tracked sub-graph's signature is "iteratively recomputed with
+  // each update, and previous signatures discarded" — a successful growth
+  // REPLACES the base sub-graph with the grown one.
+  bool any_growth = false;
+  const size_t max_edges = trie_->MaxMotifEdges();
+  for (const uint64_t key : candidate_keys) {
+    const auto it = tracked_.find(key);
+    if (it == tracked_.end()) continue;
+    if (it->second.edges.size() >= max_edges) continue;
+    // Copy the base: TryGrow mutates tracked_ on success.
+    const Tracked base = it->second;
+    if (TryGrow(base, u, v)) {
+      tracked_.erase(key);  // previous signature discarded (paper semantics)
+      any_growth = true;
+    }
+  }
+  if (any_growth) return;
+
+  // The edge extended nothing. It may still begin a new motif instance:
+  // with re-grow (Fig. 3) search the window for the largest motif match
+  // containing it; otherwise just track the fresh edge sub-graph.
+  if (options_.use_regrow) {
+    ReGrow(u, v);
+    return;
+  }
+  Tracked fresh;
+  const Edge e = Edge{u, v}.Normalized();
+  fresh.vertices = {e.u, e.v};
+  fresh.edges = {e};
+  const SignatureScheme& scheme = trie_->scheme();
+  scheme.MultiplyVertex(&fresh.signature, LabelIn(e.u));
+  scheme.MultiplyVertex(&fresh.signature, LabelIn(e.v));
+  scheme.MultiplyEdge(&fresh.signature, LabelIn(e.u), LabelIn(e.v));
+  if (ResolveNode(&fresh)) Insert(std::move(fresh));
+}
+
+void StreamMatcher::ReGrow(VertexId u, VertexId v) {
+  ++stats_.regrow_invocations;
+  const SignatureScheme& scheme = trie_->scheme();
+
+  Tracked current;
+  current.vertices = {std::min(u, v), std::max(u, v)};
+  current.edges = {Edge{u, v}.Normalized()};
+  scheme.MultiplyVertex(&current.signature, LabelIn(u));
+  scheme.MultiplyVertex(&current.signature, LabelIn(v));
+  scheme.MultiplyEdge(&current.signature, LabelIn(u), LabelIn(v));
+  if (!ResolveNode(&current)) return;  // the edge itself is not a motif
+
+  // Frontier: window edges incident to the current sub-graph, explored FIFO
+  // starting from the seed edge's endpoints; an edge rejected once is
+  // discarded for good ("do not traverse to its neighbours").
+  const size_t max_edges = trie_->MaxMotifEdges();
+  std::deque<Edge> frontier;
+  std::unordered_set<uint64_t> considered;
+  considered.insert(EdgeBits(Edge{u, v}));
+  auto push_incident = [&](VertexId x) {
+    const auto it = adjacency_.find(x);
+    if (it == adjacency_.end()) return;
+    for (const VertexId w : it->second) {
+      const Edge e = Edge{x, w}.Normalized();
+      if (considered.insert(EdgeBits(e)).second) frontier.push_back(e);
+    }
+  };
+  push_incident(u);
+  push_incident(v);
+
+  while (!frontier.empty() && current.edges.size() < max_edges) {
+    const Edge e = frontier.front();
+    frontier.pop_front();
+    const bool has_u = ContainsVertex(current.vertices, e.u);
+    const bool has_v = ContainsVertex(current.vertices, e.v);
+    if (!has_u && !has_v) continue;  // became stale; skip
+
+    Tracked candidate = current;
+    candidate.edges.push_back(e);
+    std::sort(candidate.edges.begin(), candidate.edges.end(),
+              [](const Edge& a, const Edge& b) {
+                return EdgeBits(a) < EdgeBits(b);
+              });
+    if (!has_u) {
+      candidate.vertices.push_back(e.u);
+      scheme.MultiplyVertex(&candidate.signature, LabelIn(e.u));
+    }
+    if (!has_v) {
+      candidate.vertices.push_back(e.v);
+      scheme.MultiplyVertex(&candidate.signature, LabelIn(e.v));
+    }
+    std::sort(candidate.vertices.begin(), candidate.vertices.end());
+    scheme.MultiplyEdge(&candidate.signature, LabelIn(e.u), LabelIn(e.v));
+
+    if (!ResolveNode(&candidate)) continue;  // discard this edge permanently
+    current = std::move(candidate);
+    if (!has_u) push_incident(e.u);
+    if (!has_v) push_incident(e.v);
+  }
+
+  ++stats_.regrow_matches;
+  Insert(std::move(current));
+}
+
+void StreamMatcher::RemoveVertex(VertexId v) {
+  const auto idx = by_vertex_.find(v);
+  if (idx != by_vertex_.end()) {
+    for (const uint64_t key : idx->second) {
+      const auto it = tracked_.find(key);
+      if (it == tracked_.end()) continue;
+      // Unlink from the other member vertices' indices lazily: just erase the
+      // tracked entry; stale keys in by_vertex_ are skipped on lookup.
+      tracked_.erase(it);
+    }
+    by_vertex_.erase(idx);
+  }
+  // Remove v from the window view.
+  const auto adj = adjacency_.find(v);
+  if (adj != adjacency_.end()) {
+    for (const VertexId w : adj->second) {
+      auto& back = adjacency_[w];
+      back.erase(std::remove(back.begin(), back.end(), v), back.end());
+    }
+    adjacency_.erase(adj);
+  }
+  labels_.erase(v);
+}
+
+std::vector<VertexId> StreamMatcher::MatchClosureFor(VertexId v,
+                                                     bool transitive) const {
+  const auto idx = by_vertex_.find(v);
+  if (idx == by_vertex_.end()) return {};
+
+  std::unordered_set<VertexId> closure;
+  std::unordered_set<uint64_t> seen_keys;
+  std::deque<VertexId> queue;
+
+  auto absorb_matches_of = [&](VertexId x) {
+    const auto it = by_vertex_.find(x);
+    if (it == by_vertex_.end()) return;
+    for (const uint64_t key : it->second) {
+      if (!seen_keys.insert(key).second) continue;
+      const auto t = tracked_.find(key);
+      if (t == tracked_.end() || !t->second.frequent) continue;
+      for (const VertexId member : t->second.vertices) {
+        if (closure.insert(member).second) queue.push_back(member);
+      }
+    }
+  };
+
+  absorb_matches_of(v);
+  while (transitive && !queue.empty()) {
+    const VertexId x = queue.front();
+    queue.pop_front();
+    absorb_matches_of(x);
+  }
+
+  closure.erase(v);
+  std::vector<VertexId> out(closure.begin(), closure.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t StreamMatcher::NumFrequentMatches() const {
+  size_t count = 0;
+  for (const auto& [key, t] : tracked_) {
+    (void)key;
+    if (t.frequent) ++count;
+  }
+  return count;
+}
+
+std::vector<std::vector<VertexId>> StreamMatcher::FrequentMatchVertexSets()
+    const {
+  std::vector<std::vector<VertexId>> out;
+  for (const auto& [key, t] : tracked_) {
+    (void)key;
+    if (t.frequent) out.push_back(t.vertices);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace loom

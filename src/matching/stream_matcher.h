@@ -1,0 +1,146 @@
+#ifndef LOOM_MATCHING_STREAM_MATCHER_H_
+#define LOOM_MATCHING_STREAM_MATCHER_H_
+
+/// \file
+/// Graph-stream pattern matching against a TPSTry++ (paper §4.3).
+///
+/// The matcher maintains, for the vertices currently buffered in the stream
+/// window, the set of sub-graphs that match TPSTry++ motifs:
+///
+///  * when an edge arrives it tries to *grow* every tracked sub-graph the
+///    edge touches by exactly that edge, accepting the growth iff the new
+///    signature is a TPSTry++ node (the paper's incremental
+///    multiply-and-look-up);
+///  * when a grown signature is unknown, the *re-grow* procedure starts a
+///    fresh sub-graph from the new edge and expands it greedily through the
+///    window, discarding any edge whose addition leaves the TPSTry++ — this
+///    recovers the overlapping-motif case of Fig. 3;
+///  * matches whose node is *frequent* (support >= threshold) are motif
+///    matches, the unit LOOM assigns to partitions (§4.4).
+///
+/// Signature matching is non-authoritative (collisions possible); the
+/// `verify_exact` option additionally checks the exact canonical form, which
+/// is what tests use as ground truth.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "tpstry/tpstry_pp.h"
+
+namespace loom {
+
+/// Tuning knobs for the stream matcher.
+struct StreamMatcherOptions {
+  /// Support threshold T: nodes at or above are frequent motifs (§4.2).
+  double frequency_threshold = 0.4;
+  /// Enables the §4.3 re-grow procedure (ablation E8b turns it off).
+  bool use_regrow = true;
+  /// Verify signature hits with exact canonical forms (slower, exact).
+  bool verify_exact = false;
+  /// Hard cap on concurrently tracked sub-graphs (robustness valve).
+  size_t max_tracked = 1u << 20;
+  /// Per-vertex cap on tracked sub-graphs; bounds the per-edge growth work
+  /// in dense, motif-saturated windows.
+  size_t max_tracked_per_vertex = 48;
+};
+
+/// Counters exposed for experiments and tests.
+struct StreamMatcherStats {
+  uint64_t edges_processed = 0;
+  uint64_t growths_accepted = 0;
+  uint64_t growths_rejected = 0;
+  uint64_t regrow_invocations = 0;
+  uint64_t regrow_matches = 0;
+  uint64_t tracked_dropped = 0;
+  uint64_t max_tracked_live = 0;
+};
+
+/// Windowed motif-match tracker over a graph stream.
+class StreamMatcher {
+ public:
+  /// \param trie workload summary; must outlive the matcher.
+  StreamMatcher(const TpstryPP* trie, const StreamMatcherOptions& options);
+
+  /// Buffers an arriving vertex. `window_back_edges` must contain only
+  /// endpoints currently inside the window (the caller — LOOM — filters).
+  void OnVertex(VertexId v, Label label,
+                const std::vector<VertexId>& window_back_edges);
+
+  /// Removes `v` (evicted or assigned) and every tracked sub-graph touching
+  /// it.
+  void RemoveVertex(VertexId v);
+
+  /// The motif-match closure of `v` (§4.4): the union of the vertices of
+  /// every *frequent* match containing `v`; when `transitive` (the paper's
+  /// semantics) the union is expanded through matches that share vertices
+  /// ("sub-graphs which share common sub-structure... will also be assigned
+  /// to the same partition"). Empty when `v` belongs to no frequent match.
+  /// Always excludes `v` itself.
+  std::vector<VertexId> MatchClosureFor(VertexId v,
+                                        bool transitive = true) const;
+
+  /// Number of live tracked sub-graphs (any node, frequent or not).
+  size_t NumTracked() const { return tracked_.size(); }
+
+  /// Number of live tracked sub-graphs whose node is frequent.
+  size_t NumFrequentMatches() const;
+
+  const StreamMatcherStats& stats() const { return stats_; }
+
+  /// Vertices of every live frequent match (for tests/diagnostics).
+  std::vector<std::vector<VertexId>> FrequentMatchVertexSets() const;
+
+ private:
+  struct Tracked {
+    std::vector<Edge> edges;       // normalized, sorted
+    std::vector<VertexId> vertices;  // sorted
+    GraphSignature signature;
+    TpstryNodeId node = kInvalidTpstryNode;
+    bool frequent = false;
+  };
+
+  /// Stable key of an edge set (normalized + sorted edges hashed).
+  static uint64_t KeyOf(const std::vector<Edge>& edges);
+
+  Label LabelIn(VertexId v) const;
+
+  /// Processes one in-window edge arrival.
+  void ProcessEdge(VertexId u, VertexId v);
+
+  /// Attempts S' = S + {u,v}; returns true if the growth was accepted.
+  bool TryGrow(const Tracked& base, VertexId u, VertexId v);
+
+  /// Builds a Tracked for the given edge set; returns false when its
+  /// signature is not a TPSTry++ node (or verification fails).
+  bool ResolveNode(Tracked* t) const;
+
+  /// Inserts a tracked sub-graph (deduplicated); returns true if inserted.
+  bool Insert(Tracked t);
+
+  /// The §4.3 re-grow procedure from edge {u, v}.
+  void ReGrow(VertexId u, VertexId v);
+
+  /// Exact canonical form of the tracked sub-graph (verify_exact mode).
+  std::string CanonicalOf(const Tracked& t) const;
+
+  const TpstryPP* trie_;
+  StreamMatcherOptions options_;
+  std::vector<bool> frequent_;  // by node id
+  std::vector<bool> useful_;    // by node id: frequent node reachable
+  StreamMatcherStats stats_;
+
+  /// In-window view: labels and adjacency restricted to buffered vertices.
+  std::unordered_map<VertexId, Label> labels_;
+  std::unordered_map<VertexId, std::vector<VertexId>> adjacency_;
+
+  std::unordered_map<uint64_t, Tracked> tracked_;
+  /// vertex -> keys of tracked sub-graphs containing it.
+  std::unordered_map<VertexId, std::vector<uint64_t>> by_vertex_;
+};
+
+}  // namespace loom
+
+#endif  // LOOM_MATCHING_STREAM_MATCHER_H_

@@ -1,0 +1,46 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+
+namespace loom {
+
+size_t NumCutEdges(const LabeledGraph& g, const PartitionAssignment& a) {
+  size_t cut = 0;
+  g.ForEachEdge([&](VertexId u, VertexId v) {
+    if (a.PartOf(u) != a.PartOf(v)) ++cut;
+  });
+  return cut;
+}
+
+double EdgeCutFraction(const LabeledGraph& g, const PartitionAssignment& a) {
+  if (g.NumEdges() == 0) return 0.0;
+  return static_cast<double>(NumCutEdges(g, a)) /
+         static_cast<double>(g.NumEdges());
+}
+
+double BalanceMaxOverAvg(const PartitionAssignment& a) {
+  if (a.NumAssigned() == 0) return 1.0;
+  const uint32_t max_size =
+      *std::max_element(a.Sizes().begin(), a.Sizes().end());
+  const double avg = static_cast<double>(a.NumAssigned()) /
+                     static_cast<double>(a.k());
+  return static_cast<double>(max_size) / avg;
+}
+
+bool AllAssigned(const LabeledGraph& g, const PartitionAssignment& a) {
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (!a.IsAssigned(v)) return false;
+  }
+  return true;
+}
+
+std::string SizesToString(const PartitionAssignment& a) {
+  std::string out;
+  for (size_t i = 0; i < a.Sizes().size(); ++i) {
+    if (i) out += "/";
+    out += std::to_string(a.Sizes()[i]);
+  }
+  return out;
+}
+
+}  // namespace loom

@@ -1,0 +1,35 @@
+#ifndef LOOM_METRICS_METRICS_H_
+#define LOOM_METRICS_METRICS_H_
+
+/// \file
+/// Partitioning quality measures: the classic edge-cut and balance metrics
+/// streaming partitioners optimise (§3.1), alongside which the workload-aware
+/// ipt measures of workload/query_engine.h are reported.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "partition/partition_state.h"
+
+namespace loom {
+
+/// Number of edges whose endpoints are assigned to different partitions.
+size_t NumCutEdges(const LabeledGraph& g, const PartitionAssignment& a);
+
+/// Cut edges as a fraction of all edges (lambda in the streaming literature).
+double EdgeCutFraction(const LabeledGraph& g, const PartitionAssignment& a);
+
+/// Normalised maximum load: max_i |V_i| / (n / k); 1.0 = perfectly balanced.
+double BalanceMaxOverAvg(const PartitionAssignment& a);
+
+/// True iff every vertex of `g` is assigned.
+bool AllAssigned(const LabeledGraph& g, const PartitionAssignment& a);
+
+/// "12/13/11/14"-style partition-size string for result tables.
+std::string SizesToString(const PartitionAssignment& a);
+
+}  // namespace loom
+
+#endif  // LOOM_METRICS_METRICS_H_

@@ -1,0 +1,41 @@
+#ifndef LOOM_MOTIF_CANONICAL_H_
+#define LOOM_MOTIF_CANONICAL_H_
+
+/// \file
+/// Exact canonical forms for small labelled graphs.
+///
+/// The paper's TPSTry++ identifies motifs by signature equality, admitting a
+/// small collision probability (§4.2). loom additionally computes an exact
+/// canonical form — a byte string equal iff two labelled graphs are
+/// isomorphic — so that node identity can be verified, and so tests have an
+/// isomorphism oracle. G-Tries' unlabelled canonical forms (Ribeiro & Silva)
+/// are insufficient here precisely because labels matter, as the paper notes.
+///
+/// The algorithm refines vertices into classes with 1-WL colour refinement
+/// over (label, degree), then minimises the adjacency/label encoding over the
+/// remaining within-class permutations. Exponential in the worst case, but
+/// query motifs are tiny (≤ ~12 vertices); an explicit budget guards misuse.
+
+#include <string>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace loom {
+
+/// Canonical byte-string of `g`: two graphs get equal strings iff they are
+/// isomorphic (same topology and labels).
+///
+/// Fails with InvalidArgument when the graph exceeds the small-motif budget
+/// (more than `kMaxCanonicalVertices` vertices).
+Result<std::string> CanonicalForm(const LabeledGraph& g);
+
+/// Upper bound on motif size accepted by `CanonicalForm`.
+inline constexpr size_t kMaxCanonicalVertices = 16;
+
+/// Exact labelled-graph isomorphism for small graphs (canonical equality).
+bool AreIsomorphic(const LabeledGraph& a, const LabeledGraph& b);
+
+}  // namespace loom
+
+#endif  // LOOM_MOTIF_CANONICAL_H_

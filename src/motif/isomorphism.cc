@@ -1,0 +1,146 @@
+#include "motif/isomorphism.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace loom {
+namespace {
+
+struct Matcher {
+  const LabeledGraph* pattern;
+  const LabeledGraph* target;
+  const std::function<bool(const std::vector<VertexId>&)>* cb;
+  std::vector<VertexId> order;          // pattern vertices, search order
+  std::vector<VertexId> mapping;        // pattern vertex -> target vertex
+  std::vector<bool> used;               // target vertex used
+  bool stopped = false;
+
+  bool Feasible(VertexId pu, VertexId tv) const {
+    if (pattern->LabelOf(pu) != target->LabelOf(tv)) return false;
+    if (target->Degree(tv) < pattern->Degree(pu)) return false;
+    // Every already-mapped pattern neighbour must be adjacent in the target.
+    for (const VertexId pw : pattern->Neighbors(pu)) {
+      const VertexId tw = mapping[pw];
+      if (tw != kInvalidVertex && !target->HasEdge(tv, tw)) return false;
+    }
+    return true;
+  }
+
+  void Recurse(size_t depth) {
+    if (stopped) return;
+    if (depth == order.size()) {
+      if (!(*cb)(mapping)) stopped = true;
+      return;
+    }
+    const VertexId pu = order[depth];
+    // Anchor on a mapped neighbour when one exists: candidates are then the
+    // anchor image's neighbourhood instead of the whole graph.
+    VertexId anchor = kInvalidVertex;
+    for (const VertexId pw : pattern->Neighbors(pu)) {
+      if (mapping[pw] != kInvalidVertex) {
+        anchor = mapping[pw];
+        break;
+      }
+    }
+    if (anchor != kInvalidVertex) {
+      for (const VertexId tv : target->Neighbors(anchor)) {
+        if (used[tv] || !Feasible(pu, tv)) continue;
+        mapping[pu] = tv;
+        used[tv] = true;
+        Recurse(depth + 1);
+        used[tv] = false;
+        mapping[pu] = kInvalidVertex;
+        if (stopped) return;
+      }
+    } else {
+      for (VertexId tv = 0; tv < target->NumVertices(); ++tv) {
+        if (used[tv] || !Feasible(pu, tv)) continue;
+        mapping[pu] = tv;
+        used[tv] = true;
+        Recurse(depth + 1);
+        used[tv] = false;
+        mapping[pu] = kInvalidVertex;
+        if (stopped) return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<VertexId> MatchingOrder(const LabeledGraph& pattern) {
+  const size_t n = pattern.NumVertices();
+  std::vector<VertexId> order;
+  order.reserve(n);
+  std::vector<bool> placed(n, false);
+
+  while (order.size() < n) {
+    // Root: highest-degree unplaced vertex (cheapest pruning first).
+    VertexId root = kInvalidVertex;
+    for (VertexId v = 0; v < n; ++v) {
+      if (!placed[v] &&
+          (root == kInvalidVertex || pattern.Degree(v) > pattern.Degree(root))) {
+        root = v;
+      }
+    }
+    placed[root] = true;
+    order.push_back(root);
+    // Greedy connected expansion: repeatedly place the unplaced vertex with
+    // the most placed neighbours (ties: higher degree).
+    while (true) {
+      VertexId best = kInvalidVertex;
+      size_t best_connected = 0;
+      for (VertexId v = 0; v < n; ++v) {
+        if (placed[v]) continue;
+        size_t connected = 0;
+        for (const VertexId w : pattern.Neighbors(v)) {
+          if (placed[w]) ++connected;
+        }
+        if (connected == 0) continue;
+        if (best == kInvalidVertex || connected > best_connected ||
+            (connected == best_connected &&
+             pattern.Degree(v) > pattern.Degree(best))) {
+          best = v;
+          best_connected = connected;
+        }
+      }
+      if (best == kInvalidVertex) break;  // component exhausted
+      placed[best] = true;
+      order.push_back(best);
+    }
+  }
+  return order;
+}
+
+void ForEachEmbedding(
+    const LabeledGraph& pattern, const LabeledGraph& target,
+    const std::function<bool(const std::vector<VertexId>&)>& cb) {
+  if (pattern.NumVertices() == 0 || pattern.NumVertices() > target.NumVertices()) {
+    return;
+  }
+  Matcher m;
+  m.pattern = &pattern;
+  m.target = &target;
+  m.cb = &cb;
+  m.order = MatchingOrder(pattern);
+  m.mapping.assign(pattern.NumVertices(), kInvalidVertex);
+  m.used.assign(target.NumVertices(), false);
+  m.Recurse(0);
+}
+
+size_t CountEmbeddings(const LabeledGraph& pattern, const LabeledGraph& target,
+                       size_t limit) {
+  size_t count = 0;
+  ForEachEmbedding(pattern, target, [&](const std::vector<VertexId>&) {
+    ++count;
+    return count < limit;
+  });
+  return count;
+}
+
+bool ContainsEmbedding(const LabeledGraph& pattern,
+                       const LabeledGraph& target) {
+  return CountEmbeddings(pattern, target, 1) > 0;
+}
+
+}  // namespace loom

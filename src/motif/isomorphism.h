@@ -1,0 +1,42 @@
+#ifndef LOOM_MOTIF_ISOMORPHISM_H_
+#define LOOM_MOTIF_ISOMORPHISM_H_
+
+/// \file
+/// Exact sub-graph isomorphism (the paper's §2 query semantics): find
+/// injective, label-preserving maps of a pattern graph into a data graph such
+/// that every pattern edge maps to a data edge. This is the authoritative
+/// matcher — used as the test oracle for signatures, to verify stream-matcher
+/// output, and by the query-execution engine.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace loom {
+
+/// Calls `cb(mapping)` once per embedding of `pattern` into `target`, where
+/// `mapping[i]` is the target vertex realising pattern vertex `i`.
+/// Enumeration stops early when `cb` returns false. Embeddings are emitted
+/// once per injective map (automorphic images are distinct embeddings).
+void ForEachEmbedding(
+    const LabeledGraph& pattern, const LabeledGraph& target,
+    const std::function<bool(const std::vector<VertexId>&)>& cb);
+
+/// Number of embeddings, capped at `limit`.
+size_t CountEmbeddings(const LabeledGraph& pattern, const LabeledGraph& target,
+                       size_t limit = SIZE_MAX);
+
+/// True iff at least one embedding exists.
+bool ContainsEmbedding(const LabeledGraph& pattern, const LabeledGraph& target);
+
+/// A search order over pattern vertices in which every vertex after the first
+/// of its connected component has at least one earlier neighbour. Exposed for
+/// the query-execution engine, which replays the same order to count
+/// partition-crossing traversals.
+std::vector<VertexId> MatchingOrder(const LabeledGraph& pattern);
+
+}  // namespace loom
+
+#endif  // LOOM_MOTIF_ISOMORPHISM_H_

@@ -1,0 +1,87 @@
+#include "motif/subgraph_enum.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+
+namespace loom {
+namespace {
+
+/// Union-find over the ≤ 2m endpoint slots of an edge subset; connectivity
+/// check for one subset is O(m α(m)).
+class TinyUnionFind {
+ public:
+  explicit TinyUnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+bool SubsetConnected(const std::vector<Edge>& all_edges, uint32_t mask,
+                     size_t num_vertices) {
+  TinyUnionFind uf(num_vertices);
+  VertexId first = kInvalidVertex;
+  for (size_t i = 0; i < all_edges.size(); ++i) {
+    if ((mask >> i) & 1u) {
+      uf.Union(all_edges[i].u, all_edges[i].v);
+      if (first == kInvalidVertex) first = all_edges[i].u;
+    }
+  }
+  // Connected iff every endpoint of a selected edge joins `first`'s class.
+  const size_t root = uf.Find(first);
+  for (size_t i = 0; i < all_edges.size(); ++i) {
+    if ((mask >> i) & 1u) {
+      if (uf.Find(all_edges[i].u) != root || uf.Find(all_edges[i].v) != root) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Status EnumerateConnectedEdgeSubgraphs(
+    const LabeledGraph& g,
+    const std::function<void(const std::vector<Edge>&)>& cb) {
+  const std::vector<Edge> edges = g.Edges();
+  if (edges.size() > kMaxQueryEdges) {
+    return Status::InvalidArgument(
+        "query graph too large for sub-graph enumeration (" +
+        std::to_string(edges.size()) + " edges, max " +
+        std::to_string(kMaxQueryEdges) + ")");
+  }
+  const uint32_t total = 1u << edges.size();
+
+  // Bucket masks by popcount so callers see subsets smallest-first — the
+  // TPSTry++ needs parents (k edges) created before children (k+1 edges).
+  std::vector<std::vector<uint32_t>> by_size(edges.size() + 1);
+  for (uint32_t mask = 1; mask < total; ++mask) {
+    by_size[static_cast<size_t>(__builtin_popcount(mask))].push_back(mask);
+  }
+
+  std::vector<Edge> subset;
+  for (size_t size = 1; size <= edges.size(); ++size) {
+    for (const uint32_t mask : by_size[size]) {
+      if (!SubsetConnected(edges, mask, g.NumVertices())) continue;
+      subset.clear();
+      for (size_t i = 0; i < edges.size(); ++i) {
+        if ((mask >> i) & 1u) subset.push_back(edges[i]);
+      }
+      cb(subset);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace loom

@@ -1,0 +1,33 @@
+#ifndef LOOM_MOTIF_SUBGRAPH_ENUM_H_
+#define LOOM_MOTIF_SUBGRAPH_ENUM_H_
+
+/// \file
+/// Enumeration of the connected edge-grown sub-graphs of a (small) query
+/// graph — the sub-graph family Algorithm 1 weaves into the TPSTry++. A
+/// TPSTry++ node is a sub-graph reachable by adding one edge at a time, so
+/// the family is "every non-empty connected subset of edges" (plus the
+/// single-vertex sub-graphs, which the caller handles as trie roots).
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace loom {
+
+/// Hard bound on query-graph edges accepted by the enumerator. Query graphs
+/// are tiny by definition (a handful of vertices); the enumerator is
+/// exponential in the edge count, as is the structure it feeds.
+inline constexpr size_t kMaxQueryEdges = 18;
+
+/// Calls `cb(edges)` once per non-empty connected subset of `g`'s edges,
+/// in order of increasing subset size. Fails when `g` exceeds
+/// `kMaxQueryEdges`.
+Status EnumerateConnectedEdgeSubgraphs(
+    const LabeledGraph& g,
+    const std::function<void(const std::vector<Edge>&)>& cb);
+
+}  // namespace loom
+
+#endif  // LOOM_MOTIF_SUBGRAPH_ENUM_H_

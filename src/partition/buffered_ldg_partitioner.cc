@@ -1,0 +1,35 @@
+#include "partition/buffered_ldg_partitioner.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace loom {
+
+void BufferedLdgPartitioner::OnVertex(VertexId v, Label label,
+                                      const std::vector<VertexId>& back_edges) {
+  if (window_.Full()) {
+    AssignMember(window_.PopOldest());
+  }
+  window_.Push(v, label, back_edges);
+}
+
+void BufferedLdgPartitioner::Finish() {
+  while (!window_.Empty()) {
+    AssignMember(window_.PopOldest());
+  }
+}
+
+void BufferedLdgPartitioner::AssignMember(const WindowMember& member) {
+  std::fill(edge_counts_.begin(), edge_counts_.end(), 0);
+  for (const VertexId w : member.neighbors) {
+    const int32_t p = assignment_.PartOf(w);
+    if (p >= 0) ++edge_counts_[static_cast<uint32_t>(p)];
+  }
+  const uint32_t part = PickLdgPartition(assignment_, edge_counts_);
+  assert(part < assignment_.k() && "all partitions full");
+  const Status s = assignment_.Assign(member.id, part);
+  assert(s.ok());
+  (void)s;
+}
+
+}  // namespace loom

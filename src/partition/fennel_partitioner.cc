@@ -1,0 +1,47 @@
+#include "partition/fennel_partitioner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace loom {
+
+FennelPartitioner::FennelPartitioner(const PartitionerOptions& options)
+    : StreamingPartitioner(options), edge_counts_(options.k, 0) {
+  const double n = std::max<double>(1.0, options.num_vertices_hint);
+  const double m = std::max<double>(1.0, options.num_edges_hint);
+  const double k = options.k;
+  alpha_ = m * std::pow(k, gamma_ - 1.0) / std::pow(n, gamma_);
+}
+
+void FennelPartitioner::OnVertex(VertexId v, Label /*label*/,
+                                 const std::vector<VertexId>& back_edges) {
+  std::fill(edge_counts_.begin(), edge_counts_.end(), 0);
+  for (const VertexId w : back_edges) {
+    const int32_t p = assignment_.PartOf(w);
+    if (p >= 0) ++edge_counts_[static_cast<uint32_t>(p)];
+  }
+
+  uint32_t best = assignment_.k();
+  double best_score = 0.0;
+  for (uint32_t p = 0; p < assignment_.k(); ++p) {
+    if (assignment_.FreeCapacity(p) < 1) continue;
+    const double size = assignment_.Sizes()[p];
+    const double score = static_cast<double>(edge_counts_[p]) -
+                         alpha_ * gamma_ * std::pow(size, gamma_ - 1.0);
+    const bool better =
+        best == assignment_.k() || score > best_score ||
+        (score == best_score &&
+         assignment_.Sizes()[p] < assignment_.Sizes()[best]);
+    if (better) {
+      best = p;
+      best_score = score;
+    }
+  }
+  assert(best < assignment_.k() && "all partitions full");
+  const Status s = assignment_.Assign(v, best);
+  assert(s.ok());
+  (void)s;
+}
+
+}  // namespace loom

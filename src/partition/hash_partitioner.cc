@@ -1,0 +1,26 @@
+#include "partition/hash_partitioner.h"
+
+#include <cassert>
+
+#include "common/hash.h"
+
+namespace loom {
+
+void HashPartitioner::OnVertex(VertexId v, Label /*label*/,
+                               const std::vector<VertexId>& /*back_edges*/) {
+  const uint32_t k = assignment_.k();
+  uint32_t part = static_cast<uint32_t>(
+      MixBits(static_cast<uint64_t>(v) + options_.seed) % k);
+  for (uint32_t probe = 0; probe < k; ++probe) {
+    const uint32_t candidate = (part + probe) % k;
+    if (assignment_.FreeCapacity(candidate) >= 1) {
+      const Status s = assignment_.Assign(v, candidate);
+      assert(s.ok());
+      (void)s;
+      return;
+    }
+  }
+  assert(false && "all partitions full: capacity misconfigured");
+}
+
+}  // namespace loom

@@ -1,0 +1,31 @@
+#ifndef LOOM_PARTITION_LDG_PARTITIONER_H_
+#define LOOM_PARTITION_LDG_PARTITIONER_H_
+
+/// \file
+/// Linear Deterministic Greedy (Stanton & Kliot, KDD'12) — the paper's base
+/// heuristic (§4.1): place each arriving vertex in the partition holding most
+/// of its neighbours, weighted by the partition's free capacity 1 - |Vi|/C.
+
+#include "partition/partitioner.h"
+
+namespace loom {
+
+/// One-shot LDG: assigns each vertex on arrival.
+class LdgPartitioner : public StreamingPartitioner {
+ public:
+  explicit LdgPartitioner(const PartitionerOptions& options)
+      : StreamingPartitioner(options), edge_counts_(options.k, 0) {}
+
+  void OnVertex(VertexId v, Label label,
+                const std::vector<VertexId>& back_edges) override;
+
+  std::string Name() const override { return "ldg"; }
+
+ private:
+  /// Scratch: edges from the arriving vertex into each partition.
+  std::vector<uint32_t> edge_counts_;
+};
+
+}  // namespace loom
+
+#endif  // LOOM_PARTITION_LDG_PARTITIONER_H_

@@ -1,0 +1,56 @@
+#ifndef LOOM_PARTITION_OFFLINE_PARTITIONER_H_
+#define LOOM_PARTITION_OFFLINE_PARTITIONER_H_
+
+/// \file
+/// An offline multilevel k-way partitioner in the METIS mould (§3.1 of the
+/// paper: "METIS is a multilevel technique: it computes a succession of
+/// recursively compressed graphs, partitions the smallest then projects that
+/// partitioning onto previous graphs, applying local refinement at each
+/// step"). Built from scratch:
+///
+///   1. coarsening by heavy-edge matching (edge weights accumulate);
+///   2. initial partitioning of the coarsest graph by balanced greedy
+///      region growth;
+///   3. uncoarsening with boundary FM-style refinement per level.
+///
+/// It is the edge-cut quality reference in the experiment suite; the paper's
+/// point is that streaming heuristics trade a little cut quality for
+/// one-pass operation, and LOOM trades differently again.
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "partition/partition_state.h"
+
+namespace loom {
+
+/// Options for the offline multilevel partitioner.
+struct OfflineOptions {
+  uint32_t k = 4;
+  /// Balance slack: partition vertex weight <= slack * n / k.
+  double balance_slack = 1.1;
+  /// Stop coarsening once the graph is this small (scaled by k below).
+  size_t coarsen_target = 64;
+  /// Maximum FM refinement passes per level.
+  int refine_passes = 6;
+  uint64_t seed = 42;
+};
+
+/// Statistics of one offline run (for tests and benches).
+struct OfflineStats {
+  size_t levels = 0;
+  size_t coarsest_vertices = 0;
+  size_t initial_cut = 0;
+  size_t final_cut = 0;
+};
+
+/// Partitions `g` offline; the whole graph must be in memory (the scalability
+/// contrast with streaming partitioners that §3.1 draws).
+Result<PartitionAssignment> OfflineMultilevelPartition(
+    const LabeledGraph& g, const OfflineOptions& options,
+    OfflineStats* stats = nullptr);
+
+}  // namespace loom
+
+#endif  // LOOM_PARTITION_OFFLINE_PARTITIONER_H_

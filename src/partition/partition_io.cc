@@ -1,0 +1,69 @@
+#include "partition/partition_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace loom {
+
+Status SaveAssignment(const PartitionAssignment& assignment,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out << "loom-assignment 1\n";
+  out << "k " << assignment.k() << " capacity " << assignment.capacity()
+      << "\n";
+  // part_of_ is not exposed directly; emit every assigned vertex by probing
+  // ids up to the highest assigned one.
+  size_t emitted = 0;
+  for (VertexId v = 0; emitted < assignment.NumAssigned(); ++v) {
+    const int32_t p = assignment.PartOf(v);
+    if (p >= 0) {
+      out << v << " " << p << "\n";
+      ++emitted;
+    }
+    if (v == kInvalidVertex) break;  // defensive: ids exhausted
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<PartitionAssignment> LoadAssignment(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("loom-assignment", 0) != 0) {
+    return Status::InvalidArgument("missing loom-assignment header: " + path);
+  }
+  uint32_t k = 0;
+  size_t capacity = 0;
+  {
+    std::string kw1;
+    std::string kw2;
+    if (!std::getline(in, line)) {
+      return Status::InvalidArgument("truncated assignment: " + path);
+    }
+    std::istringstream ss(line);
+    if (!(ss >> kw1 >> k >> kw2 >> capacity) || kw1 != "k" ||
+        kw2 != "capacity") {
+      return Status::InvalidArgument("bad k/capacity line: " + path);
+    }
+  }
+  PartitionAssignment assignment(k, capacity);
+  size_t line_no = 2;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    VertexId v = 0;
+    uint32_t p = 0;
+    if (!(ss >> v >> p)) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": bad assignment line");
+    }
+    LOOM_RETURN_IF_ERROR(assignment.Assign(v, p));
+  }
+  return assignment;
+}
+
+}  // namespace loom

@@ -1,0 +1,30 @@
+#ifndef LOOM_PARTITION_PARTITION_IO_H_
+#define LOOM_PARTITION_PARTITION_IO_H_
+
+/// \file
+/// Assignment serialization: the output artefact of a partitioning run, as
+/// consumed by a distributed graph store's placement layer.
+///
+/// Format:
+///
+///     loom-assignment 1
+///     k <k> capacity <C>
+///     <vertex> <partition>        (one line per assigned vertex)
+
+#include <string>
+
+#include "common/result.h"
+#include "partition/partition_state.h"
+
+namespace loom {
+
+/// Writes the assignment to `path`.
+Status SaveAssignment(const PartitionAssignment& assignment,
+                      const std::string& path);
+
+/// Reads an assignment from `path`.
+Result<PartitionAssignment> LoadAssignment(const std::string& path);
+
+}  // namespace loom
+
+#endif  // LOOM_PARTITION_PARTITION_IO_H_

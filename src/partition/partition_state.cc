@@ -1,0 +1,46 @@
+#include "partition/partition_state.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace loom {
+
+PartitionAssignment::PartitionAssignment(uint32_t k, size_t capacity)
+    : k_(k == 0 ? 1 : k), capacity_(capacity), sizes_(k_, 0) {}
+
+Status PartitionAssignment::Assign(VertexId v, uint32_t part) {
+  if (part >= k_) return Status::InvalidArgument("partition index out of range");
+  if (v >= part_of_.size()) part_of_.resize(v + 1, -1);
+  if (part_of_[v] >= 0) {
+    return Status::AlreadyExists("vertex already assigned");
+  }
+  if (capacity_ != 0 && sizes_[part] >= capacity_) {
+    return Status::CapacityExceeded("partition " + std::to_string(part) +
+                                    " is full");
+  }
+  part_of_[v] = static_cast<int32_t>(part);
+  ++sizes_[part];
+  ++num_assigned_;
+  return Status::OK();
+}
+
+int32_t PartitionAssignment::PartOf(VertexId v) const {
+  if (v >= part_of_.size()) return -1;
+  return part_of_[v];
+}
+
+size_t PartitionAssignment::FreeCapacity(uint32_t part) const {
+  if (capacity_ == 0) return std::numeric_limits<size_t>::max();
+  if (part >= k_ || sizes_[part] >= capacity_) return 0;
+  return capacity_ - sizes_[part];
+}
+
+uint32_t PartitionAssignment::SmallestPartition() const {
+  uint32_t best = 0;
+  for (uint32_t p = 1; p < k_; ++p) {
+    if (sizes_[p] < sizes_[best]) best = p;
+  }
+  return best;
+}
+
+}  // namespace loom

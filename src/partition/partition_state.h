@@ -1,0 +1,59 @@
+#ifndef LOOM_PARTITION_PARTITION_STATE_H_
+#define LOOM_PARTITION_PARTITION_STATE_H_
+
+/// \file
+/// The k-way partitioning Pk(V) of §2: a disjoint assignment of vertices to
+/// partitions S_1..S_k, with the capacity constraint C that makes the
+/// partitioning balanced (§4.1).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace loom {
+
+/// Mutable k-way vertex assignment with capacity accounting.
+class PartitionAssignment {
+ public:
+  /// \param k number of partitions (>= 1).
+  /// \param capacity per-partition vertex budget C (0 = unconstrained).
+  PartitionAssignment(uint32_t k, size_t capacity);
+
+  /// Assigns `v` to `part`. Fails on double assignment, bad partition index
+  /// or a full partition.
+  Status Assign(VertexId v, uint32_t part);
+
+  /// Partition of `v`, or -1 while unassigned (or unknown id).
+  int32_t PartOf(VertexId v) const;
+
+  bool IsAssigned(VertexId v) const { return PartOf(v) >= 0; }
+
+  uint32_t k() const { return k_; }
+  size_t capacity() const { return capacity_; }
+
+  /// Vertex count per partition.
+  const std::vector<uint32_t>& Sizes() const { return sizes_; }
+
+  /// Remaining capacity of `part` (SIZE_MAX when unconstrained).
+  size_t FreeCapacity(uint32_t part) const;
+
+  /// Total vertices assigned so far.
+  size_t NumAssigned() const { return num_assigned_; }
+
+  /// Index of the partition with the fewest vertices (lowest index wins
+  /// ties).
+  uint32_t SmallestPartition() const;
+
+ private:
+  uint32_t k_;
+  size_t capacity_;
+  std::vector<int32_t> part_of_;
+  std::vector<uint32_t> sizes_;
+  size_t num_assigned_ = 0;
+};
+
+}  // namespace loom
+
+#endif  // LOOM_PARTITION_PARTITION_STATE_H_

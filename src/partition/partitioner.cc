@@ -1,0 +1,58 @@
+#include "partition/partitioner.h"
+
+#include <cmath>
+
+namespace loom {
+
+size_t ComputeCapacity(uint32_t k, size_t num_vertices, double slack) {
+  if (num_vertices == 0) return 0;  // unconstrained when n is unknown
+  const double per_part =
+      slack * static_cast<double>(num_vertices) / static_cast<double>(k);
+  const size_t cap = static_cast<size_t>(std::ceil(per_part));
+  return cap == 0 ? 1 : cap;
+}
+
+void StreamingPartitioner::Run(const GraphStream& stream) {
+  for (const VertexArrival& arrival : stream.arrivals()) {
+    OnVertex(arrival.vertex, arrival.label, arrival.back_edges);
+  }
+  Finish();
+}
+
+uint32_t PickLdgPartition(const PartitionAssignment& assignment,
+                          const std::vector<uint32_t>& edges_to_partition,
+                          size_t need) {
+  std::vector<double> weights(edges_to_partition.begin(),
+                              edges_to_partition.end());
+  return PickLdgPartitionWeighted(assignment, weights, need);
+}
+
+uint32_t PickLdgPartitionWeighted(
+    const PartitionAssignment& assignment,
+    const std::vector<double>& weight_to_partition, size_t need) {
+  const uint32_t k = assignment.k();
+  const double capacity =
+      assignment.capacity() == 0
+          ? static_cast<double>(assignment.NumAssigned() + need) * 2.0
+          : static_cast<double>(assignment.capacity());
+
+  uint32_t best = k;
+  double best_score = -1.0;
+  for (uint32_t p = 0; p < k; ++p) {
+    if (assignment.FreeCapacity(p) < need) continue;
+    const double penalty =
+        1.0 - static_cast<double>(assignment.Sizes()[p]) / capacity;
+    const double score = weight_to_partition[p] * penalty;
+    const bool better =
+        best == k || score > best_score ||
+        (score == best_score &&
+         assignment.Sizes()[p] < assignment.Sizes()[best]);
+    if (better) {
+      best = p;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+}  // namespace loom

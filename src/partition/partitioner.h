@@ -1,0 +1,89 @@
+#ifndef LOOM_PARTITION_PARTITIONER_H_
+#define LOOM_PARTITION_PARTITIONER_H_
+
+/// \file
+/// The streaming-partitioner interface (§3.1): each vertex is considered
+/// once, in stream order, carrying its edges to earlier arrivals; the
+/// partitioner assigns it (possibly after buffering a bounded window) and
+/// never revisits the decision.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "partition/partition_state.h"
+#include "stream/stream.h"
+
+namespace loom {
+
+/// Configuration shared by all streaming partitioners.
+struct PartitionerOptions {
+  /// Number of partitions k.
+  uint32_t k = 4;
+  /// Expected vertex count n; sizes the capacity constraint C.
+  size_t num_vertices_hint = 0;
+  /// Expected edge count m; used by Fennel's alpha.
+  size_t num_edges_hint = 0;
+  /// Capacity slack: C = ceil(slack * n / k). 1.0 = perfectly tight.
+  double capacity_slack = 1.1;
+  /// Buffer size for windowed partitioners (ignored by one-shot heuristics).
+  size_t window_size = 256;
+  /// Seed for any internal randomness.
+  uint64_t seed = 42;
+};
+
+/// The capacity constraint C = ceil(slack * n / k), at least 1.
+size_t ComputeCapacity(uint32_t k, size_t num_vertices, double slack);
+
+/// Base class for streaming partitioners.
+class StreamingPartitioner {
+ public:
+  explicit StreamingPartitioner(const PartitionerOptions& options)
+      : options_(options),
+        assignment_(options.k,
+                    ComputeCapacity(options.k, options.num_vertices_hint,
+                                    options.capacity_slack)) {}
+  virtual ~StreamingPartitioner() = default;
+
+  StreamingPartitioner(const StreamingPartitioner&) = delete;
+  StreamingPartitioner& operator=(const StreamingPartitioner&) = delete;
+
+  /// Consumes one arrival: vertex `v` with `label` and its edges to
+  /// already-arrived vertices.
+  virtual void OnVertex(VertexId v, Label label,
+                        const std::vector<VertexId>& back_edges) = 0;
+
+  /// Flushes buffered state; after this every streamed vertex is assigned.
+  virtual void Finish() {}
+
+  /// Partitioner name for result tables.
+  virtual std::string Name() const = 0;
+
+  /// Feeds the whole stream and finishes.
+  void Run(const GraphStream& stream);
+
+  const PartitionAssignment& assignment() const { return assignment_; }
+  const PartitionerOptions& options() const { return options_; }
+
+ protected:
+  PartitionerOptions options_;
+  PartitionAssignment assignment_;
+};
+
+/// Shared LDG placement rule (§4.1): pick argmax_i |edges_i| * (1 - |Vi|/C)
+/// over partitions with at least `need` free slots; ties prefer the smaller
+/// partition, then the lower index; all-zero scores fall back to the least
+/// loaded eligible partition. Returns k (invalid) iff no partition has room.
+uint32_t PickLdgPartition(const PartitionAssignment& assignment,
+                          const std::vector<uint32_t>& edges_to_partition,
+                          size_t need = 1);
+
+/// Weighted LDG variant (paper §5 future work): edge counts are replaced by
+/// arbitrary non-negative weights (e.g. traversal probabilities).
+uint32_t PickLdgPartitionWeighted(const PartitionAssignment& assignment,
+                                  const std::vector<double>& weight_to_partition,
+                                  size_t need = 1);
+
+}  // namespace loom
+
+#endif  // LOOM_PARTITION_PARTITIONER_H_

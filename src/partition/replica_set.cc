@@ -1,0 +1,26 @@
+#include "partition/replica_set.h"
+
+#include <algorithm>
+
+namespace loom {
+
+void ReplicaSet::Add(VertexId v, uint32_t partition) {
+  auto& parts = replicas_[v];
+  if (std::find(parts.begin(), parts.end(), partition) != parts.end()) return;
+  parts.push_back(partition);
+  ++num_replicas_;
+}
+
+bool ReplicaSet::Has(VertexId v, uint32_t partition) const {
+  const auto it = replicas_.find(v);
+  if (it == replicas_.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), partition) !=
+         it->second.end();
+}
+
+const std::vector<uint32_t>* ReplicaSet::PartitionsOf(VertexId v) const {
+  const auto it = replicas_.find(v);
+  return it == replicas_.end() ? nullptr : &it->second;
+}
+
+}  // namespace loom

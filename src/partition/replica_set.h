@@ -1,0 +1,46 @@
+#ifndef LOOM_PARTITION_REPLICA_SET_H_
+#define LOOM_PARTITION_REPLICA_SET_H_
+
+/// \file
+/// Secondary vertex replicas (paper §3.2, after Yang et al. [21]): a vertex
+/// may be *replicated* into partitions other than its primary one, making
+/// traversals into it from those partitions local. The paper positions LOOM
+/// as complementary to such replication schemes; the `replication` module
+/// computes hotspot replicas, and the query engine accounts for them.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace loom {
+
+/// A set of (vertex, partition) replica placements.
+class ReplicaSet {
+ public:
+  ReplicaSet() = default;
+
+  /// Replicates `v` into `partition` (idempotent).
+  void Add(VertexId v, uint32_t partition);
+
+  /// True iff `v` has a replica in `partition`.
+  bool Has(VertexId v, uint32_t partition) const;
+
+  /// Partitions holding a replica of `v` (unsorted).
+  const std::vector<uint32_t>* PartitionsOf(VertexId v) const;
+
+  /// Total number of (vertex, partition) replica pairs.
+  size_t NumReplicas() const { return num_replicas_; }
+
+  /// Number of distinct vertices with at least one replica.
+  size_t NumReplicatedVertices() const { return replicas_.size(); }
+
+ private:
+  std::unordered_map<VertexId, std::vector<uint32_t>> replicas_;
+  size_t num_replicas_ = 0;
+};
+
+}  // namespace loom
+
+#endif  // LOOM_PARTITION_REPLICA_SET_H_

@@ -1,0 +1,51 @@
+#ifndef LOOM_REPLICATION_HOTSPOT_H_
+#define LOOM_REPLICATION_HOTSPOT_H_
+
+/// \file
+/// Hotspot replication (paper §3.2, after Yang et al. [21]): analyse the
+/// query workload over a partitioned graph, find the vertices whose remote
+/// traversals cost the most ("clusters of vertices over 2 or more partitions
+/// which are being frequently traversed"), and replicate them into the
+/// partitions that traverse them. The paper argues LOOM "could effectively
+/// complement many workload aware replication approaches" — the E11 bench
+/// measures exactly that combination.
+
+#include <cstdint>
+
+#include "partition/partition_state.h"
+#include "partition/replica_set.h"
+#include "workload/query_engine.h"
+#include "workload/workload.h"
+
+namespace loom {
+
+/// Tuning for hotspot replica selection.
+struct ReplicationOptions {
+  /// Replica budget as a fraction of |V| (total (vertex, partition) pairs).
+  double budget_fraction = 0.05;
+  /// At most this many secondary partitions per vertex.
+  uint32_t max_partitions_per_vertex = 3;
+  /// Embedding cap per query while profiling traversal heat.
+  size_t max_embeddings_per_query = 20000;
+};
+
+/// Statistics of one replication round.
+struct ReplicationStats {
+  /// Distinct (vertex, partition) remote-traversal pairs observed.
+  size_t hot_pairs_observed = 0;
+  /// Replicas placed (= min(budget, hot pairs, per-vertex caps)).
+  size_t replicas_placed = 0;
+};
+
+/// Profiles `workload` over the partitioned graph and returns the replica
+/// placement that eliminates the hottest remote traversals within budget.
+/// Heat is frequency-weighted per query (matching the ipt objective).
+ReplicaSet ComputeHotspotReplicas(const LabeledGraph& g,
+                                  const PartitionAssignment& assignment,
+                                  const Workload& workload,
+                                  const ReplicationOptions& options,
+                                  ReplicationStats* stats = nullptr);
+
+}  // namespace loom
+
+#endif  // LOOM_REPLICATION_HOTSPOT_H_

@@ -1,0 +1,71 @@
+#include "stream/window.h"
+
+#include <cassert>
+
+namespace loom {
+
+StreamWindow::StreamWindow(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void StreamWindow::Push(VertexId v, Label label,
+                        const std::vector<VertexId>& back_edges) {
+  assert(!Full() && "Push on a full window; evict first");
+  assert(!Contains(v));
+  WindowMember member;
+  member.id = v;
+  member.label = label;
+  member.arrival_seq = next_seq_++;
+  member.neighbors = back_edges;
+  // Back edges into the window are symmetric: tell the buffered neighbour.
+  for (const VertexId w : back_edges) {
+    const auto it = members_.find(w);
+    if (it != members_.end()) it->second.neighbors.push_back(v);
+  }
+  members_.emplace(v, std::move(member));
+  age_queue_.push_back(v);
+}
+
+void StreamWindow::CompactFront() {
+  while (!age_queue_.empty() && members_.count(age_queue_.front()) == 0) {
+    age_queue_.pop_front();
+  }
+}
+
+VertexId StreamWindow::Oldest() const {
+  const_cast<StreamWindow*>(this)->CompactFront();
+  assert(!age_queue_.empty());
+  return age_queue_.front();
+}
+
+WindowMember StreamWindow::PopOldest() {
+  CompactFront();
+  assert(!age_queue_.empty());
+  const VertexId v = age_queue_.front();
+  age_queue_.pop_front();
+  return Remove(v);
+}
+
+WindowMember StreamWindow::Remove(VertexId v) {
+  const auto it = members_.find(v);
+  assert(it != members_.end());
+  WindowMember out = std::move(it->second);
+  members_.erase(it);
+  return out;
+}
+
+const WindowMember& StreamWindow::Get(VertexId v) const {
+  const auto it = members_.find(v);
+  assert(it != members_.end());
+  return it->second;
+}
+
+std::vector<VertexId> StreamWindow::MembersInOrder() const {
+  std::vector<VertexId> out;
+  out.reserve(members_.size());
+  for (const VertexId v : age_queue_) {
+    if (members_.count(v) > 0) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace loom

@@ -1,0 +1,80 @@
+#ifndef LOOM_STREAM_WINDOW_H_
+#define LOOM_STREAM_WINDOW_H_
+
+/// \file
+/// The buffered sliding window over a graph-stream (§4.1): LOOM "buffers a
+/// sliding window over a graph-stream" and assigns vertices (or whole motif
+/// matches) as they are evicted. The window tracks, per member vertex, every
+/// edge observed while the vertex is buffered — both to other window members
+/// and to vertices that have already left (and are therefore partitioned).
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace loom {
+
+/// A vertex buffered in the stream window, with all adjacency seen so far.
+struct WindowMember {
+  VertexId id = kInvalidVertex;
+  Label label = 0;
+  /// Monotone arrival sequence number (global over the stream).
+  uint64_t arrival_seq = 0;
+  /// Every neighbour observed while buffered: back-edges carried by this
+  /// vertex's arrival plus edges carried by later arrivals pointing at it.
+  std::vector<VertexId> neighbors;
+};
+
+/// Count-bounded sliding window over vertex arrivals.
+///
+/// `Push` never evicts by itself: the owner (a buffered partitioner) checks
+/// `Full()` and calls `PopOldest()` / `Remove()` so that motif matches can
+/// leave the window as a unit (paper §4.4).
+class StreamWindow {
+ public:
+  /// \param capacity maximum number of buffered vertices (>= 1).
+  explicit StreamWindow(size_t capacity);
+
+  /// Buffers an arriving vertex and records its back edges. Must not be
+  /// called while `Full()`.
+  void Push(VertexId v, Label label, const std::vector<VertexId>& back_edges);
+
+  bool Full() const { return members_.size() >= capacity_; }
+  bool Empty() const { return members_.empty(); }
+  size_t Size() const { return members_.size(); }
+  size_t Capacity() const { return capacity_; }
+
+  bool Contains(VertexId v) const { return members_.count(v) > 0; }
+
+  /// The buffered vertex with the smallest arrival sequence.
+  VertexId Oldest() const;
+
+  /// Removes and returns the oldest member.
+  WindowMember PopOldest();
+
+  /// Removes and returns an arbitrary member (used when a whole motif match
+  /// is assigned early).
+  WindowMember Remove(VertexId v);
+
+  /// Read access to a buffered member.
+  const WindowMember& Get(VertexId v) const;
+
+  /// Member ids in arrival order (oldest first).
+  std::vector<VertexId> MembersInOrder() const;
+
+ private:
+  size_t capacity_;
+  uint64_t next_seq_ = 0;
+  std::unordered_map<VertexId, WindowMember> members_;
+  /// Arrival order with lazy deletion (entries may refer to removed members).
+  std::deque<VertexId> age_queue_;
+
+  void CompactFront();
+};
+
+}  // namespace loom
+
+#endif  // LOOM_STREAM_WINDOW_H_

@@ -1,0 +1,118 @@
+#include "tpstry/tpstry.h"
+
+#include <algorithm>
+#include <set>
+
+namespace loom {
+namespace {
+
+/// DFS enumeration of simple paths (vertex-distinct) starting at `v`.
+void ExtendPaths(const LabeledGraph& q, std::vector<VertexId>* path,
+                 std::vector<bool>* on_path, size_t max_vertices,
+                 std::set<std::vector<Label>>* sequences) {
+  // Record the label sequence, deduplicated by direction: a path and its
+  // reverse describe the same traversal pattern.
+  std::vector<Label> fwd;
+  fwd.reserve(path->size());
+  for (const VertexId v : *path) fwd.push_back(q.LabelOf(v));
+  std::vector<Label> rev(fwd.rbegin(), fwd.rend());
+  sequences->insert(std::min(fwd, rev));
+
+  if (path->size() >= max_vertices) return;
+  const VertexId tail = path->back();
+  for (const VertexId w : q.Neighbors(tail)) {
+    if ((*on_path)[w]) continue;
+    path->push_back(w);
+    (*on_path)[w] = true;
+    ExtendPaths(q, path, on_path, max_vertices, sequences);
+    (*on_path)[w] = false;
+    path->pop_back();
+  }
+}
+
+}  // namespace
+
+uint32_t Tpstry::Intern(const std::vector<Label>& path) {
+  uint32_t node = 0;
+  for (const Label l : path) {
+    auto& children = nodes_[node].children;
+    const auto it = children.find(l);
+    if (it != children.end()) {
+      node = it->second;
+      continue;
+    }
+    const uint32_t next = static_cast<uint32_t>(nodes_.size());
+    Node fresh;
+    fresh.label = l;
+    nodes_.push_back(fresh);
+    nodes_[node].children.emplace(l, next);
+    node = next;
+  }
+  return node;
+}
+
+Status Tpstry::AddQuery(const LabeledGraph& q, double frequency,
+                        size_t max_path_vertices) {
+  if (q.NumVertices() == 0) {
+    return Status::InvalidArgument("empty query graph");
+  }
+  if (frequency <= 0.0) {
+    return Status::InvalidArgument("query frequency must be positive");
+  }
+
+  std::set<std::vector<Label>> sequences;
+  std::vector<bool> on_path(q.NumVertices(), false);
+  for (VertexId v = 0; v < q.NumVertices(); ++v) {
+    std::vector<VertexId> path = {v};
+    on_path[v] = true;
+    ExtendPaths(q, &path, &on_path, max_path_vertices, &sequences);
+    on_path[v] = false;
+  }
+
+  for (const auto& seq : sequences) {
+    nodes_[Intern(seq)].support += frequency;
+  }
+  total_frequency_ += frequency;
+  return Status::OK();
+}
+
+void Tpstry::Normalize() {
+  if (total_frequency_ <= 0.0) return;
+  for (auto& node : nodes_) node.support /= total_frequency_;
+  total_frequency_ = 1.0;
+}
+
+void Tpstry::CollectFrequent(uint32_t node, std::vector<Label>* prefix,
+                             double threshold,
+                             std::vector<std::vector<Label>>* out) const {
+  if (node != 0 && nodes_[node].support >= threshold) out->push_back(*prefix);
+  for (const auto& [label, child] : nodes_[node].children) {
+    prefix->push_back(label);
+    CollectFrequent(child, prefix, threshold, out);
+    prefix->pop_back();
+  }
+}
+
+std::vector<std::vector<Label>> Tpstry::FrequentPaths(double threshold) const {
+  std::vector<std::vector<Label>> out;
+  std::vector<Label> prefix;
+  CollectFrequent(0, &prefix, threshold, &out);
+  std::sort(out.begin(), out.end(),
+            [](const std::vector<Label>& a, const std::vector<Label>& b) {
+              if (a.size() != b.size()) return a.size() > b.size();
+              return a < b;
+            });
+  return out;
+}
+
+double Tpstry::SupportOf(const std::vector<Label>& path) const {
+  uint32_t node = 0;
+  for (const Label l : path) {
+    const auto it = nodes_[node].children.find(l);
+    if (it == nodes_[node].children.end()) return 0.0;
+    node = it->second;
+  }
+  return node == 0 ? 0.0 : nodes_[node].support;
+}
+
+}  // namespace loom

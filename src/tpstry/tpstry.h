@@ -1,0 +1,68 @@
+#ifndef LOOM_TPSTRY_TPSTRY_H_
+#define LOOM_TPSTRY_TPSTRY_H_
+
+/// \file
+/// The original TPSTry (paper §4.2, from the authors' earlier work): a trie
+/// over vertex-*label paths* that summarises the frequent traversal paths of
+/// a workload of path queries. TPSTry++ generalises it to arbitrary motifs;
+/// the plain trie is kept for the paths-only ablation (experiment E8c) and
+/// for structure-size comparisons.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace loom {
+
+/// Trie over label sequences with per-node support (p-values).
+class Tpstry {
+ public:
+  Tpstry() = default;
+
+  /// Enumerates every simple path of `q` (as a label sequence, up to
+  /// `max_path_vertices` vertices, direction-deduplicated) and adds
+  /// `frequency` support to each distinct sequence, counted once per query.
+  Status AddQuery(const LabeledGraph& q, double frequency,
+                  size_t max_path_vertices = 8);
+
+  /// Divides all supports by the total added frequency. Call once.
+  void Normalize();
+
+  /// Label paths whose support is >= threshold, longest first.
+  std::vector<std::vector<Label>> FrequentPaths(double threshold) const;
+
+  /// Support of an exact label path (0 when absent).
+  double SupportOf(const std::vector<Label>& path) const;
+
+  /// Number of trie nodes (excluding the synthetic root).
+  size_t NumNodes() const { return nodes_.size() - 1; }
+
+  /// Total frequency mass added (pre-normalisation).
+  double TotalFrequency() const { return total_frequency_; }
+
+ private:
+  struct Node {
+    Label label = 0;
+    double support = 0.0;
+    std::map<Label, uint32_t> children;
+  };
+
+  /// Walks/creates the path and returns the final node index.
+  uint32_t Intern(const std::vector<Label>& path);
+
+  void CollectFrequent(uint32_t node, std::vector<Label>* prefix,
+                       double threshold,
+                       std::vector<std::vector<Label>>* out) const;
+
+  /// nodes_[0] is the synthetic root (empty path).
+  std::vector<Node> nodes_ = {Node{}};
+  double total_frequency_ = 0.0;
+};
+
+}  // namespace loom
+
+#endif  // LOOM_TPSTRY_TPSTRY_H_

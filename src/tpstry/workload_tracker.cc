@@ -1,0 +1,29 @@
+#include "tpstry/workload_tracker.h"
+
+namespace loom {
+
+WorkloadTracker::WorkloadTracker(uint32_t num_labels,
+                                 const WorkloadTrackerOptions& options)
+    : options_(options), trie_(num_labels) {
+  if (options_.window_queries == 0) options_.window_queries = 1;
+}
+
+Status WorkloadTracker::Observe(const LabeledGraph& query) {
+  LOOM_RETURN_IF_ERROR(trie_.AddQuery(query, 1.0, options_.paths_only));
+  window_.push_back(query);
+  ++num_observed_;
+  while (window_.size() > options_.window_queries) {
+    LOOM_RETURN_IF_ERROR(
+        trie_.RemoveQuery(window_.front(), 1.0, options_.paths_only));
+    window_.pop_front();
+  }
+  return Status::OK();
+}
+
+TpstryPP WorkloadTracker::Snapshot() const {
+  TpstryPP copy = trie_;
+  copy.Normalize();
+  return copy;
+}
+
+}  // namespace loom

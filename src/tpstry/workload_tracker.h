@@ -1,0 +1,63 @@
+#ifndef LOOM_TPSTRY_WORKLOAD_TRACKER_H_
+#define LOOM_TPSTRY_WORKLOAD_TRACKER_H_
+
+/// \file
+/// Continuous workload summarisation (paper §4.2 / abstract: "We are able to
+/// continuously summarise the traversal patterns caused by queries within a
+/// window over Q"): the query workload is itself a stream. The tracker
+/// maintains a TPSTry++ over the most recent `window_queries` observed
+/// queries, so the motif supports follow workload drift; snapshots feed a
+/// (re)build of the LOOM partitioner's matcher (experiment E12 measures the
+/// value of refreshing).
+
+#include <cstdint>
+#include <deque>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "tpstry/tpstry_pp.h"
+
+namespace loom {
+
+/// Tuning for the query-stream window.
+struct WorkloadTrackerOptions {
+  /// Number of most-recent queries summarised (count-based window over Q).
+  size_t window_queries = 256;
+  /// Summarise path motifs only (TPSTry regime).
+  bool paths_only = false;
+};
+
+/// Sliding-window TPSTry++ over an observed query stream.
+class WorkloadTracker {
+ public:
+  /// \param num_labels label alphabet shared with the data graph.
+  WorkloadTracker(uint32_t num_labels, const WorkloadTrackerOptions& options);
+
+  /// Observes one executed query (frequency 1 in the window). Expired
+  /// queries leave the summary automatically.
+  Status Observe(const LabeledGraph& query);
+
+  /// The live (un-normalised) summary: supports are counts within the
+  /// window.
+  const TpstryPP& trie() const { return trie_; }
+
+  /// A normalised copy of the summary (supports as p-values), suitable for
+  /// constructing a `Loom` matcher.
+  TpstryPP Snapshot() const;
+
+  /// Queries currently inside the window.
+  size_t WindowSize() const { return window_.size(); }
+
+  /// Total queries ever observed.
+  uint64_t NumObserved() const { return num_observed_; }
+
+ private:
+  WorkloadTrackerOptions options_;
+  TpstryPP trie_;
+  std::deque<LabeledGraph> window_;
+  uint64_t num_observed_ = 0;
+};
+
+}  // namespace loom
+
+#endif  // LOOM_TPSTRY_WORKLOAD_TRACKER_H_

@@ -1,0 +1,127 @@
+#include "workload/query_builders.h"
+
+#include <cassert>
+
+namespace loom {
+
+LabeledGraph PathQuery(const std::vector<Label>& labels) {
+  assert(!labels.empty());
+  LabeledGraph q;
+  VertexId prev = kInvalidVertex;
+  for (const Label l : labels) {
+    const VertexId v = q.AddVertex(l);
+    if (prev != kInvalidVertex) q.AddEdgeUnchecked(prev, v);
+    prev = v;
+  }
+  return q;
+}
+
+LabeledGraph StarQuery(Label center, const std::vector<Label>& leaf_labels) {
+  LabeledGraph q;
+  const VertexId c = q.AddVertex(center);
+  for (const Label l : leaf_labels) {
+    q.AddEdgeUnchecked(c, q.AddVertex(l));
+  }
+  return q;
+}
+
+LabeledGraph CycleQuery(const std::vector<Label>& labels) {
+  assert(labels.size() >= 3);
+  LabeledGraph q = PathQuery(labels);
+  q.AddEdgeUnchecked(static_cast<VertexId>(labels.size() - 1), 0);
+  return q;
+}
+
+LabeledGraph CliqueQuery(const std::vector<Label>& labels) {
+  assert(labels.size() >= 2);
+  LabeledGraph q;
+  for (const Label l : labels) q.AddVertex(l);
+  for (VertexId u = 0; u < labels.size(); ++u) {
+    for (VertexId v = u + 1; v < labels.size(); ++v) q.AddEdgeUnchecked(u, v);
+  }
+  return q;
+}
+
+LabeledGraph TriangleQuery(Label a, Label b, Label c) {
+  return CycleQuery({a, b, c});
+}
+
+LabeledGraph RandomConnectedQuery(uint32_t num_vertices, uint32_t extra_edges,
+                                  uint32_t num_labels, Rng& rng) {
+  assert(num_vertices >= 1 && num_labels >= 1);
+  LabeledGraph q;
+  for (uint32_t i = 0; i < num_vertices; ++i) {
+    q.AddVertex(static_cast<Label>(rng.UniformInt(0, num_labels - 1)));
+  }
+  for (VertexId v = 1; v < num_vertices; ++v) {
+    q.AddEdgeUnchecked(v, static_cast<VertexId>(rng.UniformInt(0, v - 1)));
+  }
+  uint32_t added = 0;
+  uint32_t attempts = 0;
+  while (added < extra_edges && attempts < 16 * (extra_edges + 1) &&
+         num_vertices >= 2) {
+    ++attempts;
+    const VertexId u =
+        static_cast<VertexId>(rng.UniformInt(0, num_vertices - 1));
+    const VertexId v =
+        static_cast<VertexId>(rng.UniformInt(0, num_vertices - 1));
+    if (u == v || q.HasEdge(u, v)) continue;
+    q.AddEdgeUnchecked(u, v);
+    ++added;
+  }
+  return q;
+}
+
+LabeledGraph PaperFigure1Graph() {
+  LabeledGraph g;
+  // ids:                 0        1        2        3
+  g.AddVertex(kLabelA);  // paper vertex 1:a
+  g.AddVertex(kLabelB);  // paper vertex 2:b
+  g.AddVertex(kLabelC);  // paper vertex 3:c
+  g.AddVertex(kLabelD);  // paper vertex 4:d
+  // ids:                 4        5        6        7
+  g.AddVertex(kLabelB);  // paper vertex 5:b
+  g.AddVertex(kLabelA);  // paper vertex 6:a
+  g.AddVertex(kLabelD);  // paper vertex 7:d
+  g.AddVertex(kLabelC);  // paper vertex 8:c
+
+  // The a-b-a-b square on paper vertices {1, 2, 5, 6}: 1-2, 2-6, 6-5, 5-1.
+  g.AddEdgeUnchecked(0, 1);
+  g.AddEdgeUnchecked(1, 5);
+  g.AddEdgeUnchecked(5, 4);
+  g.AddEdgeUnchecked(4, 0);
+  // The bottom-row path 1:a - 2:b - 3:c - 4:d (q2 and q3 matches).
+  g.AddEdgeUnchecked(1, 2);
+  g.AddEdgeUnchecked(2, 3);
+  // Top-row attachments: 6:a - 7:d and 7:d - 8:c, 5:b - 8:c (a second
+  // a-b-c match via 6-5-8).
+  g.AddEdgeUnchecked(5, 6);
+  g.AddEdgeUnchecked(6, 7);
+  g.AddEdgeUnchecked(4, 7);
+  return g;
+}
+
+LabeledGraph PaperQ1() {
+  return CycleQuery({kLabelA, kLabelB, kLabelA, kLabelB});
+}
+
+LabeledGraph PaperQ2() { return PathQuery({kLabelA, kLabelB, kLabelC}); }
+
+LabeledGraph PaperQ3() {
+  return PathQuery({kLabelA, kLabelB, kLabelC, kLabelD});
+}
+
+Workload PaperFigure1Workload() {
+  Workload w;
+  Status s = w.Add("q1", PaperQ1(), 1.0);
+  assert(s.ok());
+  s = w.Add("q2", PaperQ2(), 1.0);
+  assert(s.ok());
+  s = w.Add("q3", PaperQ3(), 1.0);
+  assert(s.ok());
+  (void)s;
+  w.Normalize();
+  return w;
+}
+
+}  // namespace loom

@@ -1,0 +1,66 @@
+#ifndef LOOM_WORKLOAD_QUERY_BUILDERS_H_
+#define LOOM_WORKLOAD_QUERY_BUILDERS_H_
+
+/// \file
+/// Builders for common pattern-graph shapes, plus the exact fixtures of the
+/// paper's Figure 1 (example graph G and workload Q = {q1, q2, q3}).
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "workload/workload.h"
+
+namespace loom {
+
+/// Path query v0 - v1 - ... with the given labels (>= 1 label).
+LabeledGraph PathQuery(const std::vector<Label>& labels);
+
+/// Star: a centre with `leaf_labels.size()` leaves.
+LabeledGraph StarQuery(Label center, const std::vector<Label>& leaf_labels);
+
+/// Simple cycle through the given labels (>= 3 labels).
+LabeledGraph CycleQuery(const std::vector<Label>& labels);
+
+/// Clique over the given labels (>= 2 labels).
+LabeledGraph CliqueQuery(const std::vector<Label>& labels);
+
+/// Triangle shorthand.
+LabeledGraph TriangleQuery(Label a, Label b, Label c);
+
+/// Random connected pattern: a random tree over `num_vertices` plus
+/// `extra_edges` random chords; labels uniform over `num_labels`.
+LabeledGraph RandomConnectedQuery(uint32_t num_vertices, uint32_t extra_edges,
+                                  uint32_t num_labels, Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Paper Figure 1 fixtures. Labels: a=0, b=1, c=2, d=3. The figure's vertices
+// "1:a 2:b 3:c 4:d / 5:b 6:a 7:d 8:c" map to ids 0..7 in that order.
+// The graph realises the properties the paper states: the answer to q1 is
+// exactly the sub-graph on {1, 2, 5, 6} (ids {0, 1, 4, 5}), and q2/q3 have
+// path matches along 1-2-3(-4).
+// ---------------------------------------------------------------------------
+
+inline constexpr Label kLabelA = 0;
+inline constexpr Label kLabelB = 1;
+inline constexpr Label kLabelC = 2;
+inline constexpr Label kLabelD = 3;
+
+/// The example data graph G of Figure 1.
+LabeledGraph PaperFigure1Graph();
+
+/// q1: the 4-cycle a-b-a-b.
+LabeledGraph PaperQ1();
+
+/// q2: the path a-b-c.
+LabeledGraph PaperQ2();
+
+/// q3: the path a-b-c-d.
+LabeledGraph PaperQ3();
+
+/// The workload Q = {q1, q2, q3} with equal frequencies, normalized.
+Workload PaperFigure1Workload();
+
+}  // namespace loom
+
+#endif  // LOOM_WORKLOAD_QUERY_BUILDERS_H_

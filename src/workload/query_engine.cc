@@ -1,0 +1,170 @@
+#include "workload/query_engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "motif/isomorphism.h"
+
+namespace loom {
+namespace {
+
+struct InstrumentedMatcher {
+  const LabeledGraph* g;
+  const PartitionAssignment* assignment;
+  const LabeledGraph* pattern;
+  size_t max_embeddings;
+  const ReplicaSet* replicas = nullptr;
+  const TraversalObserver* observer = nullptr;
+
+  std::vector<VertexId> order;
+  std::vector<VertexId> mapping;
+  std::vector<bool> used;
+  QueryExecutionStats stats;
+
+  /// A traversal from `from` to `to` is remote when their primaries differ
+  /// and `to` has no replica in `from`'s partition.
+  bool IsCross(VertexId from, VertexId to) const {
+    const int32_t fp = assignment->PartOf(from);
+    if (fp == assignment->PartOf(to)) return false;
+    if (replicas != nullptr && fp >= 0 &&
+        replicas->Has(to, static_cast<uint32_t>(fp))) {
+      return false;
+    }
+    return true;
+  }
+
+  bool Feasible(VertexId pu, VertexId tv) const {
+    if (pattern->LabelOf(pu) != g->LabelOf(tv)) return false;
+    if (g->Degree(tv) < pattern->Degree(pu)) return false;
+    for (const VertexId pw : pattern->Neighbors(pu)) {
+      const VertexId tw = mapping[pw];
+      if (tw != kInvalidVertex && !g->HasEdge(tv, tw)) return false;
+    }
+    return true;
+  }
+
+  void RecordEmbedding() {
+    ++stats.num_embeddings;
+    // Account the embedding's own edges against the partitioning.
+    uint64_t cut = 0;
+    uint64_t total = 0;
+    bool single = true;
+    const int32_t first_part = assignment->PartOf(mapping[0]);
+    for (VertexId pv = 0; pv < pattern->NumVertices(); ++pv) {
+      if (assignment->PartOf(mapping[pv]) != first_part) single = false;
+      for (const VertexId pw : pattern->Neighbors(pv)) {
+        if (pw < pv) continue;  // each pattern edge once
+        ++total;
+        // An answer edge is effectively cut only when NEITHER side can reach
+        // the other locally (a replica on either end heals it).
+        if (IsCross(mapping[pv], mapping[pw]) &&
+            IsCross(mapping[pw], mapping[pv])) {
+          ++cut;
+        }
+      }
+    }
+    stats.embedding_cut_edges += cut;
+    stats.embedding_total_edges += total;
+    if (single) ++stats.single_partition_embeddings;
+  }
+
+  void Recurse(size_t depth) {
+    if (stats.num_embeddings >= max_embeddings) return;
+    if (depth == order.size()) {
+      RecordEmbedding();
+      return;
+    }
+    const VertexId pu = order[depth];
+    VertexId anchor_pattern = kInvalidVertex;
+    for (const VertexId pw : pattern->Neighbors(pu)) {
+      if (mapping[pw] != kInvalidVertex) {
+        anchor_pattern = pw;
+        break;
+      }
+    }
+    if (anchor_pattern != kInvalidVertex) {
+      const VertexId anchor = mapping[anchor_pattern];
+      for (const VertexId tv : g->Neighbors(anchor)) {
+        // A label-compatible expansion is a traversal the engine performs:
+        // it ships the candidate (and its adjacency) to the coordinator,
+        // remotely when partitions differ.
+        if (g->LabelOf(tv) != pattern->LabelOf(pu)) continue;
+        ++stats.total_traversals;
+        const bool cross = IsCross(anchor, tv);
+        if (cross) ++stats.cross_traversals;
+        if (observer != nullptr && *observer) (*observer)(anchor, tv, cross);
+        if (used[tv] || !Feasible(pu, tv)) continue;
+        mapping[pu] = tv;
+        used[tv] = true;
+        Recurse(depth + 1);
+        used[tv] = false;
+        mapping[pu] = kInvalidVertex;
+        if (stats.num_embeddings >= max_embeddings) return;
+      }
+    } else {
+      // Root candidates come from a label index, not edge traversals.
+      for (VertexId tv = 0; tv < g->NumVertices(); ++tv) {
+        if (used[tv] || !Feasible(pu, tv)) continue;
+        mapping[pu] = tv;
+        used[tv] = true;
+        Recurse(depth + 1);
+        used[tv] = false;
+        mapping[pu] = kInvalidVertex;
+        if (stats.num_embeddings >= max_embeddings) return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+QueryExecutionStats ExecuteQuery(const LabeledGraph& g,
+                                 const PartitionAssignment& assignment,
+                                 const LabeledGraph& pattern,
+                                 size_t max_embeddings,
+                                 const ReplicaSet* replicas,
+                                 const TraversalObserver& observer) {
+  InstrumentedMatcher m;
+  if (pattern.NumVertices() == 0 || g.NumVertices() == 0) return m.stats;
+  m.g = &g;
+  m.assignment = &assignment;
+  m.pattern = &pattern;
+  m.max_embeddings = max_embeddings;
+  m.replicas = replicas;
+  m.observer = &observer;
+  m.order = MatchingOrder(pattern);
+  m.mapping.assign(pattern.NumVertices(), kInvalidVertex);
+  m.used.assign(g.NumVertices(), false);
+  m.Recurse(0);
+  return m.stats;
+}
+
+WorkloadIptStats EvaluateWorkloadIpt(const LabeledGraph& g,
+                                     const PartitionAssignment& assignment,
+                                     const Workload& workload,
+                                     size_t max_embeddings_per_query,
+                                     const ReplicaSet* replicas) {
+  WorkloadIptStats out;
+  const double total_freq =
+      workload.TotalFrequency() > 0 ? workload.TotalFrequency() : 1.0;
+  for (const QuerySpec& q : workload.queries()) {
+    const QueryExecutionStats s = ExecuteQuery(
+        g, assignment, q.pattern, max_embeddings_per_query, replicas);
+    const double weight = q.frequency / total_freq;
+    out.ipt_probability += weight * s.IptProbability();
+    if (s.num_embeddings > 0) {
+      out.single_partition_fraction +=
+          weight * static_cast<double>(s.single_partition_embeddings) /
+          static_cast<double>(s.num_embeddings);
+    }
+    if (s.embedding_total_edges > 0) {
+      out.embedding_cut_fraction +=
+          weight * static_cast<double>(s.embedding_cut_edges) /
+          static_cast<double>(s.embedding_total_edges);
+    }
+    out.per_query.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace loom

@@ -1,0 +1,94 @@
+#ifndef LOOM_WORKLOAD_QUERY_ENGINE_H_
+#define LOOM_WORKLOAD_QUERY_ENGINE_H_
+
+/// \file
+/// Query execution over a *partitioned* graph, instrumented with the paper's
+/// quality measure: the probability of inter-partition traversals (§1, "the
+/// probability of inter-partition traversals ... given a workload Q").
+///
+/// The engine runs the same backtracking sub-graph matcher a GDBMS would
+/// (anchored expansion along data edges, cf. motif/isomorphism.h) and charges
+/// one *traversal* each time it follows a data edge from a mapped vertex to a
+/// label-compatible candidate; the traversal is *inter-partition* when the
+/// two endpoints live in different partitions, which in a distributed store
+/// is a remote hop with communication latency.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "partition/partition_state.h"
+#include "partition/replica_set.h"
+#include "workload/workload.h"
+
+namespace loom {
+
+/// Callback invoked once per traversal the engine performs:
+/// (from, to, crossed_partition). Used by the replication module to locate
+/// hotspots.
+using TraversalObserver =
+    std::function<void(VertexId from, VertexId to, bool cross)>;
+
+/// Instrumented result of executing one query.
+struct QueryExecutionStats {
+  /// Number of embeddings found (possibly capped).
+  size_t num_embeddings = 0;
+  /// Edge traversals performed during search (successful and failed probes).
+  uint64_t total_traversals = 0;
+  /// Traversals that crossed a partition boundary.
+  uint64_t cross_traversals = 0;
+  /// Embeddings entirely inside a single partition.
+  size_t single_partition_embeddings = 0;
+  /// Sum over embeddings of their cut pattern-edges.
+  uint64_t embedding_cut_edges = 0;
+  /// Sum over embeddings of their total pattern-edges.
+  uint64_t embedding_total_edges = 0;
+
+  /// Fraction of traversals that were inter-partition.
+  double IptProbability() const {
+    return total_traversals == 0
+               ? 0.0
+               : static_cast<double>(cross_traversals) /
+                     static_cast<double>(total_traversals);
+  }
+};
+
+/// Executes `pattern` over `g` and accounts traversals against `assignment`.
+/// Enumeration stops after `max_embeddings` results (the traversal counters
+/// reflect the work actually performed).
+///
+/// When `replicas` is supplied, a traversal into a vertex replicated in the
+/// anchor's partition is local (§3.2 replication semantics). `observer`, if
+/// set, sees every traversal (for hotspot detection).
+QueryExecutionStats ExecuteQuery(const LabeledGraph& g,
+                                 const PartitionAssignment& assignment,
+                                 const LabeledGraph& pattern,
+                                 size_t max_embeddings = SIZE_MAX,
+                                 const ReplicaSet* replicas = nullptr,
+                                 const TraversalObserver& observer = nullptr);
+
+/// Frequency-weighted workload summary.
+struct WorkloadIptStats {
+  /// Σ_q freq(q) · ipt(q): the probability a random traversal of a random
+  /// query crosses partitions — the paper's objective.
+  double ipt_probability = 0.0;
+  /// Σ_q freq(q) · (fraction of q's embeddings confined to one partition).
+  double single_partition_fraction = 0.0;
+  /// Σ_q freq(q) · (fraction of embedding edges that are cut).
+  double embedding_cut_fraction = 0.0;
+  /// Per-query detail rows, aligned with the workload's query order.
+  std::vector<QueryExecutionStats> per_query;
+};
+
+/// Runs every workload query and combines by relative frequency.
+WorkloadIptStats EvaluateWorkloadIpt(const LabeledGraph& g,
+                                     const PartitionAssignment& assignment,
+                                     const Workload& workload,
+                                     size_t max_embeddings_per_query = 20000,
+                                     const ReplicaSet* replicas = nullptr);
+
+}  // namespace loom
+
+#endif  // LOOM_WORKLOAD_QUERY_ENGINE_H_

@@ -1,0 +1,41 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+
+namespace loom {
+
+Status Workload::Add(std::string name, LabeledGraph pattern, double frequency) {
+  if (pattern.NumVertices() == 0) {
+    return Status::InvalidArgument("empty query pattern: " + name);
+  }
+  if (!IsConnected(pattern)) {
+    return Status::InvalidArgument("query pattern must be connected: " + name);
+  }
+  if (frequency <= 0.0) {
+    return Status::InvalidArgument("query frequency must be positive: " + name);
+  }
+  for (VertexId v = 0; v < pattern.NumVertices(); ++v) {
+    num_labels_ = std::max(num_labels_, pattern.LabelOf(v) + 1);
+  }
+  total_frequency_ += frequency;
+  queries_.push_back(QuerySpec{std::move(name), std::move(pattern), frequency});
+  return Status::OK();
+}
+
+void Workload::Normalize() {
+  if (total_frequency_ <= 0.0) return;
+  for (auto& q : queries_) q.frequency /= total_frequency_;
+  total_frequency_ = 1.0;
+}
+
+size_t Workload::SampleIndex(Rng& rng) const {
+  const double u = rng.UniformDouble() * total_frequency_;
+  double acc = 0.0;
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    acc += queries_[i].frequency;
+    if (u < acc) return i;
+  }
+  return queries_.empty() ? 0 : queries_.size() - 1;
+}
+
+}  // namespace loom

@@ -1,0 +1,57 @@
+#ifndef LOOM_WORKLOAD_WORKLOAD_H_
+#define LOOM_WORKLOAD_WORKLOAD_H_
+
+/// \file
+/// A query workload Q (paper §1.1): pattern matching queries over G "along
+/// with the relative frequency of each query in Q".
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace loom {
+
+/// One query of the workload: a small labelled pattern graph plus its
+/// relative frequency.
+struct QuerySpec {
+  std::string name;
+  LabeledGraph pattern;
+  double frequency = 1.0;
+};
+
+/// An immutable-after-build set of queries with relative frequencies.
+class Workload {
+ public:
+  Workload() = default;
+
+  /// Adds a query. The pattern must be non-empty and connected (the paper's
+  /// motifs are connected sub-graphs) and the frequency positive.
+  Status Add(std::string name, LabeledGraph pattern, double frequency);
+
+  /// Rescales frequencies to sum to 1.
+  void Normalize();
+
+  const std::vector<QuerySpec>& queries() const { return queries_; }
+  size_t NumQueries() const { return queries_.size(); }
+
+  /// Smallest label alphabet covering every pattern (max label + 1).
+  uint32_t NumLabels() const { return num_labels_; }
+
+  /// Total frequency mass (1 after `Normalize`).
+  double TotalFrequency() const { return total_frequency_; }
+
+  /// Samples a query index proportionally to frequency.
+  size_t SampleIndex(Rng& rng) const;
+
+ private:
+  std::vector<QuerySpec> queries_;
+  uint32_t num_labels_ = 0;
+  double total_frequency_ = 0.0;
+};
+
+}  // namespace loom
+
+#endif  // LOOM_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,112 @@
+#include "workload/workload_gen.h"
+
+#include <cassert>
+
+#include "workload/query_builders.h"
+
+namespace loom {
+namespace {
+
+std::vector<Label> RandomLabels(uint32_t count, uint32_t num_labels,
+                                Rng& rng) {
+  std::vector<Label> labels(count);
+  for (auto& l : labels) {
+    l = static_cast<Label>(rng.UniformInt(0, num_labels - 1));
+  }
+  return labels;
+}
+
+/// Zipf frequencies over the query ranks.
+std::vector<double> Frequencies(uint32_t n, double skew) {
+  const ZipfSampler sampler(n, skew);
+  std::vector<double> out(n);
+  for (uint32_t i = 0; i < n; ++i) out[i] = sampler.Probability(i);
+  return out;
+}
+
+}  // namespace
+
+Workload PathWorkload(const WorkloadGenOptions& options) {
+  Rng rng(options.seed);
+  Workload w;
+  const auto freqs = Frequencies(options.num_queries, options.frequency_skew);
+  for (uint32_t i = 0; i < options.num_queries; ++i) {
+    const uint32_t len = static_cast<uint32_t>(
+        rng.UniformInt(2, std::max<uint32_t>(2, options.max_pattern_vertices)));
+    const Status s =
+        w.Add("path" + std::to_string(i),
+              PathQuery(RandomLabels(len, options.num_labels, rng)), freqs[i]);
+    assert(s.ok());
+    (void)s;
+  }
+  w.Normalize();
+  return w;
+}
+
+Workload MixedMotifWorkload(const WorkloadGenOptions& options) {
+  Rng rng(options.seed);
+  Workload w;
+  const auto freqs = Frequencies(options.num_queries, options.frequency_skew);
+  for (uint32_t i = 0; i < options.num_queries; ++i) {
+    const uint32_t shape = static_cast<uint32_t>(rng.UniformInt(0, 3));
+    LabeledGraph pattern;
+    std::string name;
+    const uint32_t max_v = std::max<uint32_t>(3, options.max_pattern_vertices);
+    switch (shape) {
+      case 0: {
+        const uint32_t len = static_cast<uint32_t>(rng.UniformInt(2, max_v));
+        pattern = PathQuery(RandomLabels(len, options.num_labels, rng));
+        name = "path";
+        break;
+      }
+      case 1: {
+        pattern = TriangleQuery(
+            static_cast<Label>(rng.UniformInt(0, options.num_labels - 1)),
+            static_cast<Label>(rng.UniformInt(0, options.num_labels - 1)),
+            static_cast<Label>(rng.UniformInt(0, options.num_labels - 1)));
+        name = "triangle";
+        break;
+      }
+      case 2: {
+        const uint32_t leaves =
+            static_cast<uint32_t>(rng.UniformInt(2, max_v - 1));
+        pattern = StarQuery(
+            static_cast<Label>(rng.UniformInt(0, options.num_labels - 1)),
+            RandomLabels(leaves, options.num_labels, rng));
+        name = "star";
+        break;
+      }
+      default: {
+        const uint32_t len = static_cast<uint32_t>(rng.UniformInt(3, max_v));
+        pattern = CycleQuery(RandomLabels(len, options.num_labels, rng));
+        name = "cycle";
+        break;
+      }
+    }
+    const Status s =
+        w.Add(name + std::to_string(i), std::move(pattern), freqs[i]);
+    assert(s.ok());
+    (void)s;
+  }
+  w.Normalize();
+  return w;
+}
+
+Workload LookupWorkload(const WorkloadGenOptions& options) {
+  Rng rng(options.seed);
+  Workload w;
+  const uint32_t n = std::min(options.num_queries, options.num_labels);
+  const auto freqs = Frequencies(n, options.frequency_skew);
+  for (uint32_t i = 0; i < n; ++i) {
+    LabeledGraph pattern;
+    pattern.AddVertex(static_cast<Label>(i));
+    const Status s =
+        w.Add("lookup" + std::to_string(i), std::move(pattern), freqs[i]);
+    assert(s.ok());
+    (void)s;
+  }
+  w.Normalize();
+  return w;
+}
+
+}  // namespace loom

@@ -1,0 +1,42 @@
+#ifndef LOOM_WORKLOAD_WORKLOAD_GEN_H_
+#define LOOM_WORKLOAD_WORKLOAD_GEN_H_
+
+/// \file
+/// Workload generators for the experiment suite: parameterised mixes of the
+/// shapes the paper motivates (paths for navigation, triangles/cycles for
+/// fraud rings, stars for recommendation fan-out) with controllable skew.
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "workload/workload.h"
+
+namespace loom {
+
+/// Knobs for synthetic workloads.
+struct WorkloadGenOptions {
+  uint32_t num_labels = 4;
+  /// Number of distinct queries.
+  uint32_t num_queries = 6;
+  /// Zipf skew over query frequencies (0 = uniform; the paper's premise is
+  /// a skewed workload, frequently traversing a limited edge subset).
+  double frequency_skew = 1.0;
+  /// Largest pattern size in vertices.
+  uint32_t max_pattern_vertices = 4;
+  uint64_t seed = 7;
+};
+
+/// Path-only workload (the original TPSTry's regime): random label paths of
+/// 2..max_pattern_vertices vertices.
+Workload PathWorkload(const WorkloadGenOptions& options);
+
+/// Mixed motif workload: paths, triangles, stars and small cycles.
+Workload MixedMotifWorkload(const WorkloadGenOptions& options);
+
+/// Motif-free contrast workload: single-vertex lookups only (no edges to
+/// keep local, so workload-awareness cannot help — the E2 control).
+Workload LookupWorkload(const WorkloadGenOptions& options);
+
+}  // namespace loom
+
+#endif  // LOOM_WORKLOAD_WORKLOAD_GEN_H_

@@ -1,0 +1,89 @@
+#include "workload/workload_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace loom {
+
+Status SaveWorkload(const Workload& workload, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out << "loom-workload 1\n";
+  for (const QuerySpec& q : workload.queries()) {
+    out << "query " << q.name << " " << q.frequency << " "
+        << q.pattern.NumVertices() << "\n";
+    for (VertexId v = 0; v < q.pattern.NumVertices(); ++v) {
+      out << "l " << v << " " << q.pattern.LabelOf(v) << "\n";
+    }
+    q.pattern.ForEachEdge(
+        [&](VertexId u, VertexId v) { out << "e " << u << " " << v << "\n"; });
+    out << "end\n";
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Workload> LoadWorkload(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("loom-workload", 0) != 0) {
+    return Status::InvalidArgument("missing loom-workload header: " + path);
+  }
+
+  Workload workload;
+  size_t line_no = 1;
+  std::string name;
+  double frequency = 0.0;
+  size_t declared_vertices = 0;
+  LabeledGraph pattern;
+  bool in_query = false;
+
+  auto fail = [&](const std::string& why) {
+    return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                   ": " + why);
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string kind;
+    ss >> kind;
+    if (kind == "query") {
+      if (in_query) return fail("nested query block");
+      if (!(ss >> name >> frequency >> declared_vertices)) {
+        return fail("bad query header");
+      }
+      pattern = LabeledGraph();
+      for (size_t i = 0; i < declared_vertices; ++i) pattern.AddVertex(0);
+      in_query = true;
+    } else if (kind == "l") {
+      if (!in_query) return fail("label outside query block");
+      VertexId v = 0;
+      Label l = 0;
+      if (!(ss >> v >> l) || !pattern.HasVertex(v)) return fail("bad label");
+      pattern.SetLabel(v, l);
+    } else if (kind == "e") {
+      if (!in_query) return fail("edge outside query block");
+      VertexId u = 0;
+      VertexId v = 0;
+      if (!(ss >> u >> v)) return fail("bad edge");
+      const Status s = pattern.AddEdge(u, v);
+      if (!s.ok()) return fail("edge rejected: " + s.ToString());
+    } else if (kind == "end") {
+      if (!in_query) return fail("end outside query block");
+      LOOM_RETURN_IF_ERROR(workload.Add(name, std::move(pattern), frequency));
+      in_query = false;
+    } else {
+      return fail("unknown record kind: " + kind);
+    }
+  }
+  if (in_query) {
+    return Status::InvalidArgument(path + ": unterminated query block");
+  }
+  return workload;
+}
+
+}  // namespace loom

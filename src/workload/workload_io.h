@@ -1,0 +1,33 @@
+#ifndef LOOM_WORKLOAD_WORKLOAD_IO_H_
+#define LOOM_WORKLOAD_WORKLOAD_IO_H_
+
+/// \file
+/// Workload serialization — lets deployments capture their live query mix
+/// (pattern graphs + relative frequencies) and feed it to the partitioner
+/// offline or via the loom_partition CLI tool.
+///
+/// Format (text, line-oriented, '#' comments allowed):
+///
+///     loom-workload 1
+///     query <name> <frequency> <num_vertices>
+///     l <vertex> <label>          (num_vertices lines)
+///     e <u> <v>                   (edge lines)
+///     end
+
+#include <string>
+
+#include "common/result.h"
+#include "workload/workload.h"
+
+namespace loom {
+
+/// Writes `workload` to `path`.
+Status SaveWorkload(const Workload& workload, const std::string& path);
+
+/// Reads a workload from `path`; patterns are validated exactly as
+/// `Workload::Add` does (connected, non-empty, positive frequency).
+Result<Workload> LoadWorkload(const std::string& path);
+
+}  // namespace loom
+
+#endif  // LOOM_WORKLOAD_WORKLOAD_IO_H_

@@ -1,0 +1,186 @@
+// Tests for exact canonical forms of small labelled graphs — the TPSTry++
+// node-identity oracle. Includes randomized property sweeps: relabelled
+// permutations of a graph must canonicalise identically, and graphs that
+// differ in labels or topology must not.
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "graph/generators.h"
+#include "motif/canonical.h"
+#include "motif/isomorphism.h"
+#include "workload/query_builders.h"
+
+namespace loom {
+namespace {
+
+/// Applies a random vertex permutation to `g` (same graph, shuffled ids).
+LabeledGraph Permuted(const LabeledGraph& g, Rng& rng) {
+  std::vector<VertexId> perm(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) perm[v] = v;
+  rng.Shuffle(&perm);
+  // perm[v] = new id of old vertex v.
+  std::vector<Label> labels(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    labels[perm[v]] = g.LabelOf(v);
+  }
+  LabeledGraph out;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) out.AddVertex(labels[v]);
+  g.ForEachEdge([&](VertexId u, VertexId v) {
+    out.AddEdgeUnchecked(perm[u], perm[v]);
+  });
+  return out;
+}
+
+TEST(CanonicalTest, EmptyAndSingle) {
+  LabeledGraph empty;
+  EXPECT_TRUE(CanonicalForm(empty).ok());
+  LabeledGraph single;
+  single.AddVertex(3);
+  LabeledGraph single2;
+  single2.AddVertex(3);
+  LabeledGraph single_other;
+  single_other.AddVertex(4);
+  EXPECT_EQ(CanonicalForm(single).value(), CanonicalForm(single2).value());
+  EXPECT_NE(CanonicalForm(single).value(),
+            CanonicalForm(single_other).value());
+}
+
+TEST(CanonicalTest, LabelSensitive) {
+  const LabeledGraph p1 = PathQuery({0, 1, 2});
+  const LabeledGraph p2 = PathQuery({0, 1, 3});
+  EXPECT_NE(CanonicalForm(p1).value(), CanonicalForm(p2).value());
+}
+
+TEST(CanonicalTest, DirectionInvariantForPaths) {
+  const LabeledGraph fwd = PathQuery({0, 1, 2});
+  const LabeledGraph rev = PathQuery({2, 1, 0});
+  EXPECT_EQ(CanonicalForm(fwd).value(), CanonicalForm(rev).value());
+}
+
+TEST(CanonicalTest, TopologySensitive) {
+  // Same label multiset and edge count: path a-a-a-a + chord vs star.
+  LabeledGraph path = PathQuery({0, 0, 0, 0});
+  LabeledGraph star = StarQuery(0, {0, 0, 0});
+  EXPECT_NE(CanonicalForm(path).value(), CanonicalForm(star).value());
+}
+
+TEST(CanonicalTest, TriangleVsPathSameLabels) {
+  // Triangle a-b-c vs path a-b-c-a? A path cannot revisit; use 3-vertex
+  // comparisons: triangle (3 edges) vs path (2 edges) differ trivially, so
+  // compare two distinct 4-vertex graphs with equal label multisets and
+  // edge counts: C4 abab vs path abab + pendant chord arrangement.
+  const LabeledGraph cycle = CycleQuery({0, 1, 0, 1});
+  LabeledGraph zigzag = PathQuery({0, 1, 0, 1});
+  zigzag.AddEdgeUnchecked(0, 2);  // a-a chord: different edge label multiset
+  EXPECT_NE(CanonicalForm(cycle).value(), CanonicalForm(zigzag).value());
+}
+
+TEST(CanonicalTest, AreIsomorphicBasics) {
+  EXPECT_TRUE(AreIsomorphic(PaperQ1(), CycleQuery({1, 0, 1, 0})));
+  EXPECT_FALSE(AreIsomorphic(PaperQ1(), CycleQuery({0, 0, 1, 1})));
+  EXPECT_FALSE(AreIsomorphic(PaperQ2(), PaperQ3()));
+}
+
+TEST(CanonicalTest, RejectsOversizedGraphs) {
+  Rng rng(1);
+  const LabeledGraph big = RandomTree(kMaxCanonicalVertices + 1,
+                                      LabelConfig{2, 0.0}, rng);
+  EXPECT_FALSE(CanonicalForm(big).ok());
+}
+
+TEST(CanonicalTest, HighSymmetryWithinBudget) {
+  // K6 with uniform labels: 6! = 720 permutations in one class — fine.
+  Rng rng(2);
+  const LabeledGraph k6 = Complete(6, LabelConfig{1, 0.0}, rng);
+  EXPECT_TRUE(CanonicalForm(k6).ok());
+}
+
+// Property sweep: canonical form is permutation-invariant across random
+// small graphs of varying size/density/label count.
+class CanonicalProperty
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>> {};
+
+TEST_P(CanonicalProperty, PermutationInvariant) {
+  const auto [num_vertices, num_labels] = GetParam();
+  Rng rng(num_vertices * 131 + num_labels);
+  for (int trial = 0; trial < 40; ++trial) {
+    const LabeledGraph g = RandomConnectedQuery(
+        num_vertices, /*extra_edges=*/trial % 4, num_labels, rng);
+    const LabeledGraph h = Permuted(g, rng);
+    const auto cg = CanonicalForm(g);
+    const auto ch = CanonicalForm(h);
+    ASSERT_TRUE(cg.ok() && ch.ok());
+    EXPECT_EQ(cg.value(), ch.value())
+        << "permuted graph canonicalised differently:\n"
+        << g.ToString() << "vs\n"
+        << h.ToString();
+  }
+}
+
+TEST_P(CanonicalProperty, DistinctGraphsRarelyCollide) {
+  const auto [num_vertices, num_labels] = GetParam();
+  Rng rng(num_vertices * 977 + num_labels);
+  // Canonical strings of structurally distinct graphs must differ. Build a
+  // set and check that isomorphic duplicates are the only collisions, via
+  // brute-force embedding in both directions.
+  std::unordered_map<std::string, LabeledGraph> seen;
+  for (int trial = 0; trial < 60; ++trial) {
+    const LabeledGraph g =
+        RandomConnectedQuery(num_vertices, trial % 3, num_labels, rng);
+    const auto canon = CanonicalForm(g);
+    ASSERT_TRUE(canon.ok());
+    const auto it = seen.find(canon.value());
+    if (it != seen.end()) {
+      // Claimed isomorphic: must have identical vertex/edge counts and
+      // label multisets.
+      EXPECT_EQ(g.NumVertices(), it->second.NumVertices());
+      EXPECT_EQ(g.NumEdges(), it->second.NumEdges());
+    } else {
+      seen.emplace(canon.value(), g);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, CanonicalProperty,
+    ::testing::Combine(::testing::Values(2u, 3u, 4u, 5u, 6u),
+                       ::testing::Values(1u, 2u, 4u)));
+
+// Exactness oracle: canonical equality must coincide with isomorphism as
+// decided by mutual sub-graph embedding (same sizes + embeddings both ways).
+class CanonicalOracle : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CanonicalOracle, EqualityIffIsomorphic) {
+  Rng rng(GetParam() * 6151 + 3);
+  std::vector<LabeledGraph> pool;
+  for (int i = 0; i < 24; ++i) {
+    pool.push_back(RandomConnectedQuery(
+        static_cast<uint32_t>(rng.UniformInt(2, 5)),
+        static_cast<uint32_t>(rng.UniformInt(0, 2)), 2, rng));
+  }
+  for (size_t i = 0; i < pool.size(); ++i) {
+    for (size_t j = i + 1; j < pool.size(); ++j) {
+      const LabeledGraph& a = pool[i];
+      const LabeledGraph& b = pool[j];
+      const bool same_shape = a.NumVertices() == b.NumVertices() &&
+                              a.NumEdges() == b.NumEdges();
+      const bool iso = same_shape && ContainsEmbedding(a, b) &&
+                       ContainsEmbedding(b, a);
+      const bool canon_equal =
+          CanonicalForm(a).value() == CanonicalForm(b).value();
+      EXPECT_EQ(canon_equal, iso)
+          << "canonical form disagrees with the embedding oracle:\n"
+          << a.ToString() << "vs\n"
+          << b.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CanonicalOracle,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace loom

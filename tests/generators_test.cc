@@ -1,0 +1,199 @@
+// Tests for the synthetic graph generators, including parameterized property
+// sweeps over sizes and models.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "motif/isomorphism.h"
+#include "workload/query_builders.h"
+
+namespace loom {
+namespace {
+
+TEST(ErdosRenyiTest, GnpEdgeCountNearExpectation) {
+  Rng rng(1);
+  const uint32_t n = 2000;
+  const double p = 0.005;
+  const LabeledGraph g = ErdosRenyiGnp(n, p, LabelConfig{4, 0.0}, rng);
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.NumEdges()), expected,
+              5.0 * std::sqrt(expected));
+}
+
+TEST(ErdosRenyiTest, GnpExtremes) {
+  Rng rng(2);
+  EXPECT_EQ(ErdosRenyiGnp(50, 0.0, LabelConfig{2, 0.0}, rng).NumEdges(), 0u);
+  EXPECT_EQ(ErdosRenyiGnp(10, 1.0, LabelConfig{2, 0.0}, rng).NumEdges(), 45u);
+}
+
+TEST(ErdosRenyiTest, GnmExactEdgeCount) {
+  Rng rng(3);
+  const LabeledGraph g = ErdosRenyiGnm(100, 400, LabelConfig{3, 0.0}, rng);
+  EXPECT_EQ(g.NumVertices(), 100u);
+  EXPECT_EQ(g.NumEdges(), 400u);
+}
+
+TEST(ErdosRenyiTest, GnmClampsToMaxEdges) {
+  Rng rng(4);
+  const LabeledGraph g = ErdosRenyiGnm(5, 1000, LabelConfig{2, 0.0}, rng);
+  EXPECT_EQ(g.NumEdges(), 10u);
+}
+
+TEST(BarabasiAlbertTest, SizesAndConnectivity) {
+  Rng rng(5);
+  const LabeledGraph g = BarabasiAlbert(500, 3, LabelConfig{4, 0.0}, rng);
+  EXPECT_EQ(g.NumVertices(), 500u);
+  EXPECT_TRUE(IsConnected(g));
+  // m edges per arrival after the seed clique.
+  EXPECT_GE(g.NumEdges(), 3u * (500 - 4));
+}
+
+TEST(BarabasiAlbertTest, ProducesSkewedDegrees) {
+  Rng rng(6);
+  const LabeledGraph g = BarabasiAlbert(2000, 2, LabelConfig{4, 0.0}, rng);
+  size_t max_degree = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    max_degree = std::max(max_degree, g.Degree(v));
+  }
+  // A hub far above the mean degree (4) is the power-law fingerprint.
+  EXPECT_GT(max_degree, 40u);
+}
+
+TEST(WattsStrogatzTest, RingBaseline) {
+  Rng rng(7);
+  const LabeledGraph g = WattsStrogatz(100, 2, 0.0, LabelConfig{2, 0.0}, rng);
+  // beta=0: pure ring lattice, 2 neighbours per side.
+  EXPECT_EQ(g.NumEdges(), 200u);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(WattsStrogatzTest, RewiringKeepsEdgeBudgetClose) {
+  Rng rng(8);
+  const LabeledGraph g = WattsStrogatz(200, 3, 0.3, LabelConfig{2, 0.0}, rng);
+  EXPECT_LE(g.NumEdges(), 600u);
+  EXPECT_GE(g.NumEdges(), 540u);  // a few rewires may collide and drop
+}
+
+TEST(RMatTest, RespectsScaleAndFactor) {
+  Rng rng(9);
+  const LabeledGraph g =
+      RMat(10, 8, 0.57, 0.19, 0.19, LabelConfig{4, 0.0}, rng);
+  EXPECT_EQ(g.NumVertices(), 1024u);
+  // Duplicates are dropped; expect to land close to the target.
+  EXPECT_GE(g.NumEdges(), 7000u);
+  EXPECT_LE(g.NumEdges(), 8192u);
+}
+
+TEST(GridTest, StructureExact) {
+  Rng rng(10);
+  const LabeledGraph g = Grid2D(4, 5, LabelConfig{2, 0.0}, rng);
+  EXPECT_EQ(g.NumVertices(), 20u);
+  EXPECT_EQ(g.NumEdges(), 4u * 4 + 5u * 3);  // horizontal + vertical
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(RingTreeCompleteTest, Shapes) {
+  Rng rng(11);
+  EXPECT_EQ(Ring(10, LabelConfig{2, 0.0}, rng).NumEdges(), 10u);
+  EXPECT_EQ(RandomTree(50, LabelConfig{2, 0.0}, rng).NumEdges(), 49u);
+  EXPECT_EQ(Complete(6, LabelConfig{2, 0.0}, rng).NumEdges(), 15u);
+  EXPECT_TRUE(IsConnected(RandomTree(50, LabelConfig{2, 0.0}, rng)));
+}
+
+TEST(LabelConfigTest, UniformUsesWholeAlphabet) {
+  Rng rng(12);
+  const LabeledGraph g = ErdosRenyiGnm(2000, 1000, LabelConfig{5, 0.0}, rng);
+  std::vector<size_t> counts(5, 0);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) ++counts[g.LabelOf(v)];
+  for (const size_t c : counts) EXPECT_GT(c, 300u);
+}
+
+TEST(LabelConfigTest, ZipfSkewsLabels) {
+  Rng rng(13);
+  const LabeledGraph g = ErdosRenyiGnm(3000, 1000, LabelConfig{5, 1.5}, rng);
+  std::vector<size_t> counts(5, 0);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) ++counts[g.LabelOf(v)];
+  EXPECT_GT(counts[0], counts[4] * 3);
+}
+
+TEST(PlantMotifsTest, EmbeddingsBecomeMatches) {
+  Rng rng(14);
+  LabeledGraph g = ErdosRenyiGnm(300, 600, LabelConfig{4, 0.0}, rng);
+  const LabeledGraph motif = TriangleQuery(0, 1, 2);
+  const auto planted = PlantMotifs(&g, motif, 10, rng);
+  ASSERT_EQ(planted.size(), 10u);
+  for (const PlantedMotif& p : planted) {
+    ASSERT_EQ(p.embedding.size(), 3u);
+    for (VertexId mv = 0; mv < 3; ++mv) {
+      EXPECT_EQ(g.LabelOf(p.embedding[mv]), motif.LabelOf(mv));
+    }
+    EXPECT_TRUE(g.HasEdge(p.embedding[0], p.embedding[1]));
+    EXPECT_TRUE(g.HasEdge(p.embedding[1], p.embedding[2]));
+    EXPECT_TRUE(g.HasEdge(p.embedding[2], p.embedding[0]));
+  }
+  EXPECT_GE(CountEmbeddings(motif, g, 1000), 10u);
+}
+
+TEST(PlantMotifsTest, DisjointEmbeddings) {
+  Rng rng(15);
+  LabeledGraph g = ErdosRenyiGnm(100, 150, LabelConfig{4, 0.0}, rng);
+  const LabeledGraph motif = PathQuery({0, 1, 2});
+  const auto planted = PlantMotifs(&g, motif, 5, rng);
+  std::vector<VertexId> all;
+  for (const auto& p : planted) {
+    all.insert(all.end(), p.embedding.begin(), p.embedding.end());
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::unique(all.begin(), all.end()), all.end());
+}
+
+TEST(PlantMotifsTest, StopsWhenGraphTooSmall) {
+  Rng rng(16);
+  LabeledGraph g = ErdosRenyiGnm(7, 5, LabelConfig{4, 0.0}, rng);
+  const LabeledGraph motif = TriangleQuery(0, 1, 2);
+  const auto planted = PlantMotifs(&g, motif, 10, rng);
+  EXPECT_LE(planted.size(), 2u);
+}
+
+// Parameterized determinism sweep: same seed => identical graph, across
+// generators and sizes.
+class GeneratorDeterminism
+    : public ::testing::TestWithParam<std::tuple<int, uint32_t>> {};
+
+TEST_P(GeneratorDeterminism, SameSeedSameGraph) {
+  const auto [which, n] = GetParam();
+  auto build = [&](uint64_t seed) {
+    Rng rng(seed);
+    const LabelConfig lc{4, 0.5};
+    switch (which) {
+      case 0:
+        return ErdosRenyiGnp(n, 4.0 / n, lc, rng);
+      case 1:
+        return ErdosRenyiGnm(n, 2 * n, lc, rng);
+      case 2:
+        return BarabasiAlbert(n, 3, lc, rng);
+      case 3:
+        return WattsStrogatz(n, 2, 0.2, lc, rng);
+      default:
+        return RandomTree(n, lc, rng);
+    }
+  };
+  const LabeledGraph a = build(77);
+  const LabeledGraph b = build(77);
+  ASSERT_EQ(a.NumVertices(), b.NumVertices());
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  for (VertexId v = 0; v < a.NumVertices(); ++v) {
+    EXPECT_EQ(a.LabelOf(v), b.LabelOf(v));
+    EXPECT_EQ(a.Neighbors(v), b.Neighbors(v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGenerators, GeneratorDeterminism,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                       ::testing::Values(64u, 256u)));
+
+}  // namespace
+}  // namespace loom

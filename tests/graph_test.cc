@@ -1,0 +1,172 @@
+// Unit tests for the labelled graph substrate and graph I/O.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "graph/graph.h"
+#include "graph/io.h"
+
+namespace loom {
+namespace {
+
+LabeledGraph Triangle() {
+  LabeledGraph g;
+  g.AddVertex(0);
+  g.AddVertex(1);
+  g.AddVertex(2);
+  g.AddEdgeUnchecked(0, 1);
+  g.AddEdgeUnchecked(1, 2);
+  g.AddEdgeUnchecked(2, 0);
+  return g;
+}
+
+TEST(GraphTest, EmptyGraph) {
+  LabeledGraph g;
+  EXPECT_EQ(g.NumVertices(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_EQ(g.NumLabels(), 0u);
+  EXPECT_FALSE(g.HasVertex(0));
+}
+
+TEST(GraphTest, AddVertexAssignsDenseIds) {
+  LabeledGraph g;
+  EXPECT_EQ(g.AddVertex(3), 0u);
+  EXPECT_EQ(g.AddVertex(1), 1u);
+  EXPECT_EQ(g.NumVertices(), 2u);
+  EXPECT_EQ(g.LabelOf(0), 3u);
+  EXPECT_EQ(g.LabelOf(1), 1u);
+  EXPECT_EQ(g.NumLabels(), 4u);  // max label + 1
+}
+
+TEST(GraphTest, AddEdgeSymmetric) {
+  LabeledGraph g = Triangle();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_EQ(g.Degree(0), 2u);
+  EXPECT_EQ(g.DegreeSum(), 2 * g.NumEdges());
+}
+
+TEST(GraphTest, RejectsSelfLoop) {
+  LabeledGraph g;
+  g.AddVertex(0);
+  EXPECT_EQ(g.AddEdge(0, 0).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphTest, RejectsDuplicateEdge) {
+  LabeledGraph g = Triangle();
+  EXPECT_EQ(g.AddEdge(0, 1).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(g.AddEdge(1, 0).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(g.NumEdges(), 3u);
+}
+
+TEST(GraphTest, RejectsUnknownEndpoint) {
+  LabeledGraph g;
+  g.AddVertex(0);
+  EXPECT_EQ(g.AddEdge(0, 5).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphTest, SetLabelUpdates) {
+  LabeledGraph g;
+  g.AddVertex(0);
+  g.SetLabel(0, 9);
+  EXPECT_EQ(g.LabelOf(0), 9u);
+  EXPECT_EQ(g.NumLabels(), 10u);
+}
+
+TEST(GraphTest, ForEachEdgeVisitsOncePerEdge) {
+  LabeledGraph g = Triangle();
+  size_t count = 0;
+  g.ForEachEdge([&](VertexId u, VertexId v) {
+    EXPECT_LT(u, v);
+    ++count;
+  });
+  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(g.Edges().size(), 3u);
+}
+
+TEST(GraphTest, EdgeNormalization) {
+  const Edge e{5, 2};
+  EXPECT_EQ(e.Normalized().u, 2u);
+  EXPECT_EQ(e.Normalized().v, 5u);
+}
+
+TEST(InducedSubgraphTest, KeepsInternalEdgesOnly) {
+  LabeledGraph g = Triangle();
+  g.AddVertex(7);
+  g.AddEdgeUnchecked(0, 3);
+  const LabeledGraph sub = InducedSubgraph(g, {0, 1, 2});
+  EXPECT_EQ(sub.NumVertices(), 3u);
+  EXPECT_EQ(sub.NumEdges(), 3u);
+  EXPECT_EQ(sub.LabelOf(0), 0u);
+}
+
+TEST(InducedSubgraphTest, RelabelsDensely) {
+  LabeledGraph g = Triangle();
+  const LabeledGraph sub = InducedSubgraph(g, {2, 0});
+  EXPECT_EQ(sub.NumVertices(), 2u);
+  EXPECT_EQ(sub.NumEdges(), 1u);
+  EXPECT_EQ(sub.LabelOf(0), 2u);  // vertex 2 first
+  EXPECT_EQ(sub.LabelOf(1), 0u);
+}
+
+TEST(EdgeSubgraphTest, KeepsOnlyListedEdges) {
+  LabeledGraph g = Triangle();
+  std::vector<VertexId> mapping;
+  const LabeledGraph sub =
+      EdgeSubgraph(g, {Edge{0, 1}, Edge{1, 2}}, &mapping);
+  EXPECT_EQ(sub.NumVertices(), 3u);
+  EXPECT_EQ(sub.NumEdges(), 2u);  // edge {2,0} intentionally dropped
+  ASSERT_EQ(mapping.size(), 3u);
+  EXPECT_EQ(mapping[0], 0u);
+  EXPECT_EQ(mapping[1], 1u);
+  EXPECT_EQ(mapping[2], 2u);
+}
+
+TEST(IsConnectedTest, Cases) {
+  EXPECT_TRUE(IsConnected(LabeledGraph()));
+  LabeledGraph single;
+  single.AddVertex(0);
+  EXPECT_TRUE(IsConnected(single));
+  EXPECT_TRUE(IsConnected(Triangle()));
+  LabeledGraph two;
+  two.AddVertex(0);
+  two.AddVertex(1);
+  EXPECT_FALSE(IsConnected(two));
+}
+
+TEST(GraphIoTest, RoundTrip) {
+  LabeledGraph g = Triangle();
+  g.SetLabel(2, 5);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "loom_io_test.graph").string();
+  ASSERT_TRUE(SaveGraph(g, path).ok());
+  auto loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->NumVertices(), 3u);
+  EXPECT_EQ(loaded->NumEdges(), 3u);
+  EXPECT_EQ(loaded->LabelOf(2), 5u);
+  EXPECT_TRUE(loaded->HasEdge(0, 1));
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, MissingFileFails) {
+  EXPECT_EQ(LoadGraph("/nonexistent/loom.graph").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST(GraphIoTest, MalformedHeaderFails) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "loom_bad.graph").string();
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("not-a-graph\n", f);
+    std::fclose(f);
+  }
+  EXPECT_EQ(LoadGraph(path).status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace loom

@@ -1,0 +1,193 @@
+// End-to-end integration tests: workload -> TPSTry++ -> stream -> LOOM ->
+// partitioning -> query execution, asserting the paper's qualitative claims
+// on controlled inputs.
+
+#include <gtest/gtest.h>
+
+#include "core/loom.h"
+#include "graph/generators.h"
+#include "metrics/metrics.h"
+#include "partition/hash_partitioner.h"
+#include "partition/ldg_partitioner.h"
+#include "stream/stream.h"
+#include "workload/query_builders.h"
+#include "workload/query_engine.h"
+#include "workload/workload_gen.h"
+
+namespace loom {
+namespace {
+
+struct Pipeline {
+  LabeledGraph graph;
+  GraphStream stream;
+  Workload workload;
+};
+
+Pipeline MotifRichPipeline(uint32_t n, uint64_t seed) {
+  Pipeline p;
+  Rng rng(seed);
+  p.workload = Workload();
+  EXPECT_TRUE(p.workload.Add("fof", PathQuery({0, 0, 0}), 4.0).ok());
+  EXPECT_TRUE(p.workload.Add("tri", TriangleQuery(0, 1, 0), 2.0).ok());
+  EXPECT_TRUE(p.workload.Add("chain", PathQuery({0, 1, 2}), 1.0).ok());
+  p.workload.Normalize();
+  p.graph = BarabasiAlbert(n, 3, LabelConfig{3, 0.3}, rng);
+  for (const QuerySpec& q : p.workload.queries()) {
+    PlantMotifs(&p.graph, q.pattern, n / 20, rng, /*locality_span=*/32);
+  }
+  p.stream = MakeStream(p.graph, StreamOrder::kNatural, rng);
+  return p;
+}
+
+TEST(IntegrationTest, LoomImprovesAnswerLocalityOverLdg) {
+  const Pipeline p = MotifRichPipeline(6000, 11);
+
+  PartitionerOptions popts;
+  popts.k = 8;
+  popts.num_vertices_hint = p.graph.NumVertices();
+  popts.num_edges_hint = p.graph.NumEdges();
+  popts.window_size = 512;
+
+  LdgPartitioner ldg(popts);
+  ldg.Run(p.stream);
+  LoomOptions lopts;
+  lopts.partitioner = popts;
+  lopts.matcher.frequency_threshold = 0.2;
+  auto loom = Loom::Create(p.workload, lopts);
+  ASSERT_TRUE(loom.ok());
+  (*loom)->Partitioner().Run(p.stream);
+
+  const WorkloadIptStats ldg_stats =
+      EvaluateWorkloadIpt(p.graph, ldg.assignment(), p.workload);
+  const WorkloadIptStats loom_stats = EvaluateWorkloadIpt(
+      p.graph, (*loom)->Partitioner().assignment(), p.workload);
+
+  // The abstract's claim: LOOM increases the likelihood that a random query
+  // is answered within a single partition.
+  EXPECT_GT(loom_stats.single_partition_fraction,
+            ldg_stats.single_partition_fraction);
+  // And answer edges are cut less often.
+  EXPECT_LT(loom_stats.embedding_cut_fraction,
+            ldg_stats.embedding_cut_fraction);
+}
+
+TEST(IntegrationTest, EveryPartitionerBeatsHashOnIpt) {
+  const Pipeline p = MotifRichPipeline(4000, 22);
+  PartitionerOptions popts;
+  popts.k = 4;
+  popts.num_vertices_hint = p.graph.NumVertices();
+  popts.num_edges_hint = p.graph.NumEdges();
+
+  HashPartitioner hash(popts);
+  hash.Run(p.stream);
+  LdgPartitioner ldg(popts);
+  ldg.Run(p.stream);
+  LoomOptions lopts;
+  lopts.partitioner = popts;
+  lopts.matcher.frequency_threshold = 0.2;
+  auto loom = Loom::Create(p.workload, lopts);
+  ASSERT_TRUE(loom.ok());
+  (*loom)->Partitioner().Run(p.stream);
+
+  const double hash_ipt =
+      EvaluateWorkloadIpt(p.graph, hash.assignment(), p.workload)
+          .ipt_probability;
+  EXPECT_LT(EvaluateWorkloadIpt(p.graph, ldg.assignment(), p.workload)
+                .ipt_probability,
+            hash_ipt);
+  EXPECT_LT(EvaluateWorkloadIpt(p.graph, (*loom)->Partitioner().assignment(),
+                                p.workload)
+                .ipt_probability,
+            hash_ipt);
+}
+
+TEST(IntegrationTest, QueryAnswersIdenticalAcrossPartitioners) {
+  // Partitioning is physical layout only: answers must be identical.
+  const Pipeline p = MotifRichPipeline(1500, 33);
+  PartitionerOptions popts;
+  popts.k = 4;
+  popts.num_vertices_hint = p.graph.NumVertices();
+
+  HashPartitioner hash(popts);
+  hash.Run(p.stream);
+  LoomOptions lopts;
+  lopts.partitioner = popts;
+  auto loom = Loom::Create(p.workload, lopts);
+  ASSERT_TRUE(loom.ok());
+  (*loom)->Partitioner().Run(p.stream);
+
+  for (const QuerySpec& q : p.workload.queries()) {
+    const auto via_hash = ExecuteQuery(p.graph, hash.assignment(), q.pattern);
+    const auto via_loom =
+        ExecuteQuery(p.graph, (*loom)->Partitioner().assignment(), q.pattern);
+    EXPECT_EQ(via_hash.num_embeddings, via_loom.num_embeddings)
+        << "query " << q.name;
+  }
+}
+
+TEST(IntegrationTest, WindowSizeImprovesCaptureMonotonically) {
+  const Pipeline p = MotifRichPipeline(3000, 44);
+  auto run = [&](size_t window) {
+    PartitionerOptions popts;
+    popts.k = 4;
+    popts.num_vertices_hint = p.graph.NumVertices();
+    popts.window_size = window;
+    LoomOptions lopts;
+    lopts.partitioner = popts;
+    lopts.matcher.frequency_threshold = 0.2;
+    auto loom = Loom::Create(p.workload, lopts);
+    EXPECT_TRUE(loom.ok());
+    (*loom)->Partitioner().Run(p.stream);
+    return (*loom)->Partitioner().loom_stats().cluster_vertices;
+  };
+  // More window -> at least as many vertices assigned via motif clusters.
+  const auto tiny = run(8);
+  const auto medium = run(128);
+  const auto large = run(1024);
+  EXPECT_LE(tiny, medium * 11 / 10);  // allow small non-monotonic wiggle
+  EXPECT_GT(large, tiny);
+}
+
+TEST(IntegrationTest, DeterministicEndToEnd) {
+  const Pipeline p = MotifRichPipeline(1000, 55);
+  auto run = [&]() {
+    PartitionerOptions popts;
+    popts.k = 4;
+    popts.num_vertices_hint = p.graph.NumVertices();
+    LoomOptions lopts;
+    lopts.partitioner = popts;
+    auto loom = Loom::Create(p.workload, lopts);
+    EXPECT_TRUE(loom.ok());
+    (*loom)->Partitioner().Run(p.stream);
+    std::vector<int32_t> parts;
+    for (VertexId v = 0; v < p.graph.NumVertices(); ++v) {
+      parts.push_back((*loom)->Partitioner().assignment().PartOf(v));
+    }
+    return parts;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(IntegrationTest, GeneratedWorkloadsRunEndToEnd) {
+  WorkloadGenOptions wopts;
+  wopts.num_queries = 4;
+  wopts.num_labels = 3;
+  wopts.max_pattern_vertices = 4;
+  for (const Workload& w :
+       {PathWorkload(wopts), MixedMotifWorkload(wopts)}) {
+    Rng rng(66);
+    LabeledGraph g = BarabasiAlbert(2000, 3, LabelConfig{3, 0.0}, rng);
+    const GraphStream stream = MakeStream(g, StreamOrder::kRandom, rng);
+    LoomOptions lopts;
+    lopts.partitioner.k = 4;
+    lopts.partitioner.num_vertices_hint = g.NumVertices();
+    lopts.matcher.frequency_threshold = 0.3;
+    auto loom = Loom::Create(w, lopts);
+    ASSERT_TRUE(loom.ok());
+    (*loom)->Partitioner().Run(stream);
+    EXPECT_TRUE(AllAssigned(g, (*loom)->Partitioner().assignment()));
+  }
+}
+
+}  // namespace
+}  // namespace loom

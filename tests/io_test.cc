@@ -1,0 +1,123 @@
+// Round-trip and robustness tests for workload and assignment serialization.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "partition/partition_io.h"
+#include "workload/query_builders.h"
+#include "workload/workload_io.h"
+
+namespace loom {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(WorkloadIoTest, RoundTrip) {
+  Workload w;
+  ASSERT_TRUE(w.Add("fof", PathQuery({0, 0, 0}), 4.0).ok());
+  ASSERT_TRUE(w.Add("tri", TriangleQuery(0, 1, 2), 2.0).ok());
+  ASSERT_TRUE(w.Add("star", StarQuery(1, {2, 3}), 1.0).ok());
+
+  const std::string path = TempPath("loom_workload_test.loom");
+  ASSERT_TRUE(SaveWorkload(w, path).ok());
+  auto loaded = LoadWorkload(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  ASSERT_EQ(loaded->NumQueries(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    const QuerySpec& a = w.queries()[i];
+    const QuerySpec& b = loaded->queries()[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_DOUBLE_EQ(a.frequency, b.frequency);
+    EXPECT_EQ(a.pattern.NumVertices(), b.pattern.NumVertices());
+    EXPECT_EQ(a.pattern.NumEdges(), b.pattern.NumEdges());
+    for (VertexId v = 0; v < a.pattern.NumVertices(); ++v) {
+      EXPECT_EQ(a.pattern.LabelOf(v), b.pattern.LabelOf(v));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadIoTest, MissingFile) {
+  EXPECT_EQ(LoadWorkload("/nonexistent/w.loom").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST(WorkloadIoTest, BadHeader) {
+  const std::string path = TempPath("loom_workload_bad.loom");
+  {
+    std::ofstream out(path);
+    out << "not-a-workload\n";
+  }
+  EXPECT_EQ(LoadWorkload(path).status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadIoTest, UnterminatedQueryBlock) {
+  const std::string path = TempPath("loom_workload_trunc.loom");
+  {
+    std::ofstream out(path);
+    out << "loom-workload 1\nquery q 1.0 2\nl 0 0\nl 1 1\ne 0 1\n";
+  }
+  EXPECT_FALSE(LoadWorkload(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadIoTest, DisconnectedPatternRejectedOnLoad) {
+  const std::string path = TempPath("loom_workload_disc.loom");
+  {
+    std::ofstream out(path);
+    out << "loom-workload 1\nquery q 1.0 2\nl 0 0\nl 1 1\nend\n";
+  }
+  EXPECT_FALSE(LoadWorkload(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(AssignmentIoTest, RoundTrip) {
+  PartitionAssignment a(4, 100);
+  ASSERT_TRUE(a.Assign(0, 1).ok());
+  ASSERT_TRUE(a.Assign(5, 3).ok());
+  ASSERT_TRUE(a.Assign(2, 0).ok());
+
+  const std::string path = TempPath("loom_assignment_test.loom");
+  ASSERT_TRUE(SaveAssignment(a, path).ok());
+  auto loaded = LoadAssignment(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->k(), 4u);
+  EXPECT_EQ(loaded->capacity(), 100u);
+  EXPECT_EQ(loaded->NumAssigned(), 3u);
+  EXPECT_EQ(loaded->PartOf(0), 1);
+  EXPECT_EQ(loaded->PartOf(5), 3);
+  EXPECT_EQ(loaded->PartOf(2), 0);
+  EXPECT_EQ(loaded->PartOf(1), -1);
+  std::remove(path.c_str());
+}
+
+TEST(AssignmentIoTest, RejectsInvalidPartition) {
+  const std::string path = TempPath("loom_assignment_bad.loom");
+  {
+    std::ofstream out(path);
+    out << "loom-assignment 1\nk 2 capacity 0\n0 7\n";
+  }
+  EXPECT_FALSE(LoadAssignment(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(AssignmentIoTest, MissingHeader) {
+  const std::string path = TempPath("loom_assignment_hdr.loom");
+  {
+    std::ofstream out(path);
+    out << "garbage\n";
+  }
+  EXPECT_EQ(LoadAssignment(path).status().code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace loom

@@ -1,0 +1,134 @@
+// Tests for the offline multilevel (METIS-like) baseline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "metrics/metrics.h"
+#include "partition/offline_partitioner.h"
+
+namespace loom {
+namespace {
+
+TEST(OfflineTest, EmptyGraph) {
+  OfflineOptions o;
+  o.k = 4;
+  const auto a = OfflineMultilevelPartition(LabeledGraph(), o);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->NumAssigned(), 0u);
+}
+
+TEST(OfflineTest, RejectsZeroK) {
+  OfflineOptions o;
+  o.k = 0;
+  EXPECT_FALSE(OfflineMultilevelPartition(LabeledGraph(), o).ok());
+}
+
+TEST(OfflineTest, CompleteAssignmentAndBalance) {
+  Rng rng(1);
+  const LabeledGraph g = BarabasiAlbert(2000, 4, LabelConfig{3, 0.0}, rng);
+  OfflineOptions o;
+  o.k = 8;
+  o.balance_slack = 1.1;
+  const auto a = OfflineMultilevelPartition(g, o);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  EXPECT_TRUE(AllAssigned(g, *a));
+  EXPECT_LE(BalanceMaxOverAvg(*a), 1.1 + 1e-9);
+}
+
+TEST(OfflineTest, SplitsTwoCliquesPerfectly) {
+  // Two 50-cliques joined by a single edge: the optimal 2-cut is 1.
+  LabeledGraph g;
+  for (int i = 0; i < 100; ++i) g.AddVertex(0);
+  for (VertexId u = 0; u < 50; ++u) {
+    for (VertexId v = u + 1; v < 50; ++v) g.AddEdgeUnchecked(u, v);
+  }
+  for (VertexId u = 50; u < 100; ++u) {
+    for (VertexId v = u + 1; v < 100; ++v) g.AddEdgeUnchecked(u, v);
+  }
+  g.AddEdgeUnchecked(49, 50);
+  OfflineOptions o;
+  o.k = 2;
+  o.seed = 3;
+  const auto a = OfflineMultilevelPartition(g, o);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(NumCutEdges(g, *a), 1u);
+}
+
+TEST(OfflineTest, GridCutNearOptimal) {
+  // 32x32 grid, k=2: optimal bisection cuts 32 edges; multilevel + FM should
+  // land within a small factor.
+  Rng rng(2);
+  const LabeledGraph g = Grid2D(32, 32, LabelConfig{2, 0.0}, rng);
+  OfflineOptions o;
+  o.k = 2;
+  o.seed = 5;
+  const auto a = OfflineMultilevelPartition(g, o);
+  ASSERT_TRUE(a.ok());
+  EXPECT_LE(NumCutEdges(g, *a), 96u);  // within 3x of optimal
+}
+
+TEST(OfflineTest, RefinementImprovesInitialCut) {
+  Rng rng(3);
+  const LabeledGraph g = WattsStrogatz(1500, 4, 0.05, LabelConfig{2, 0.0}, rng);
+  OfflineOptions o;
+  o.k = 4;
+  OfflineStats stats;
+  const auto a = OfflineMultilevelPartition(g, o, &stats);
+  ASSERT_TRUE(a.ok());
+  EXPECT_GT(stats.levels, 1u);
+  EXPECT_LT(stats.coarsest_vertices, g.NumVertices());
+  // Final cut (after refinement across levels) no worse than the coarsest
+  // initial cut.
+  EXPECT_LE(stats.final_cut, stats.initial_cut);
+}
+
+TEST(OfflineTest, BeatsStreamingCutOnStructuredGraphs) {
+  Rng rng(4);
+  const LabeledGraph g = Grid2D(40, 40, LabelConfig{2, 0.0}, rng);
+  OfflineOptions o;
+  o.k = 4;
+  const auto a = OfflineMultilevelPartition(g, o);
+  ASSERT_TRUE(a.ok());
+  // The paper's framing: offline multilevel is the cut-quality reference.
+  // On a grid, 4-way cut should be well under 10% of edges.
+  EXPECT_LT(EdgeCutFraction(g, *a), 0.10);
+}
+
+TEST(OfflineTest, DeterministicGivenSeed) {
+  Rng rng(5);
+  const LabeledGraph g = BarabasiAlbert(800, 3, LabelConfig{2, 0.0}, rng);
+  OfflineOptions o;
+  o.k = 4;
+  o.seed = 1234;
+  const auto a1 = OfflineMultilevelPartition(g, o);
+  const auto a2 = OfflineMultilevelPartition(g, o);
+  ASSERT_TRUE(a1.ok() && a2.ok());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(a1->PartOf(v), a2->PartOf(v));
+  }
+}
+
+class OfflineKSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(OfflineKSweep, BalanceHeldAcrossK) {
+  const uint32_t k = GetParam();
+  Rng rng(6);
+  const LabeledGraph g = ErdosRenyiGnm(3000, 9000, LabelConfig{2, 0.0}, rng);
+  OfflineOptions o;
+  o.k = k;
+  o.balance_slack = 1.15;
+  const auto a = OfflineMultilevelPartition(g, o);
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(AllAssigned(g, *a));
+  // The bound is integral: max load <= ceil(slack * n / k).
+  const auto cap = static_cast<uint32_t>(
+      std::ceil(1.15 * g.NumVertices() / static_cast<double>(k)));
+  for (const uint32_t size : a->Sizes()) EXPECT_LE(size, cap);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, OfflineKSweep, ::testing::Values(2u, 4u, 8u, 16u));
+
+}  // namespace
+}  // namespace loom

@@ -1,0 +1,158 @@
+// Tests for the ipt-instrumented query execution engine: result counts must
+// agree with the exact matcher regardless of partitioning, and the traversal
+// accounting must match hand-computed fixtures.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "motif/isomorphism.h"
+#include "workload/query_builders.h"
+#include "workload/query_engine.h"
+
+namespace loom {
+namespace {
+
+PartitionAssignment AllInOne(const LabeledGraph& g, uint32_t k = 2) {
+  PartitionAssignment a(k, 0);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_TRUE(a.Assign(v, 0).ok());
+  }
+  return a;
+}
+
+PartitionAssignment Alternating(const LabeledGraph& g, uint32_t k = 2) {
+  PartitionAssignment a(k, 0);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_TRUE(a.Assign(v, v % k).ok());
+  }
+  return a;
+}
+
+TEST(QueryEngineTest, EmbeddingCountMatchesExactMatcher) {
+  Rng rng(1);
+  const LabeledGraph g = ErdosRenyiGnm(120, 420, LabelConfig{3, 0.0}, rng);
+  const PartitionAssignment a = Alternating(g, 3);
+  for (const LabeledGraph& q :
+       {PathQuery({0, 1}), PathQuery({0, 1, 2}), TriangleQuery(0, 1, 2),
+        StarQuery(2, {0, 1})}) {
+    EXPECT_EQ(ExecuteQuery(g, a, q).num_embeddings, CountEmbeddings(q, g))
+        << "partitioning must not change query answers";
+  }
+}
+
+TEST(QueryEngineTest, SinglePartitionMeansNoCrossTraversals) {
+  const LabeledGraph g = PaperFigure1Graph();
+  const PartitionAssignment a = AllInOne(g);
+  const QueryExecutionStats s = ExecuteQuery(g, a, PaperQ2());
+  EXPECT_GT(s.total_traversals, 0u);
+  EXPECT_EQ(s.cross_traversals, 0u);
+  EXPECT_EQ(s.IptProbability(), 0.0);
+  EXPECT_EQ(s.single_partition_embeddings, s.num_embeddings);
+  EXPECT_EQ(s.embedding_cut_edges, 0u);
+}
+
+TEST(QueryEngineTest, HandComputedCrossTraversals) {
+  // Graph: a(0) - b(1), partition a|b. Query a-b. The engine roots at one
+  // pattern vertex (highest degree, tie -> order), then traverses one edge.
+  LabeledGraph g;
+  const VertexId va = g.AddVertex(0);
+  const VertexId vb = g.AddVertex(1);
+  g.AddEdgeUnchecked(va, vb);
+  PartitionAssignment split(2, 0);
+  ASSERT_TRUE(split.Assign(va, 0).ok());
+  ASSERT_TRUE(split.Assign(vb, 1).ok());
+
+  const QueryExecutionStats s = ExecuteQuery(g, split, PathQuery({0, 1}));
+  EXPECT_EQ(s.num_embeddings, 1u);
+  EXPECT_EQ(s.total_traversals, 1u);
+  EXPECT_EQ(s.cross_traversals, 1u);
+  EXPECT_EQ(s.single_partition_embeddings, 0u);
+  EXPECT_EQ(s.embedding_cut_edges, 1u);
+  EXPECT_EQ(s.embedding_total_edges, 1u);
+}
+
+TEST(QueryEngineTest, ProbesCountedEvenWhenInfeasible) {
+  // Star: centre b with three a-leaves, query path b-a (1 embedding per
+  // leaf). From the b anchor every a-leaf is probed.
+  LabeledGraph g;
+  const VertexId c = g.AddVertex(1);
+  for (int i = 0; i < 3; ++i) g.AddEdgeUnchecked(c, g.AddVertex(0));
+  PartitionAssignment a(2, 0);
+  ASSERT_TRUE(a.Assign(0, 0).ok());  // centre
+  ASSERT_TRUE(a.Assign(1, 0).ok());
+  ASSERT_TRUE(a.Assign(2, 1).ok());
+  ASSERT_TRUE(a.Assign(3, 1).ok());
+
+  const QueryExecutionStats s = ExecuteQuery(g, a, PathQuery({1, 0}));
+  EXPECT_EQ(s.num_embeddings, 3u);
+  EXPECT_EQ(s.total_traversals, 3u);   // three label-compatible probes
+  EXPECT_EQ(s.cross_traversals, 2u);   // two leaves live remotely
+  EXPECT_NEAR(s.IptProbability(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(QueryEngineTest, MaxEmbeddingsCapsWork) {
+  Rng rng(2);
+  const LabeledGraph g = Complete(10, LabelConfig{1, 0.0}, rng);
+  const PartitionAssignment a = Alternating(g);
+  const QueryExecutionStats s =
+      ExecuteQuery(g, a, PathQuery({0, 0}), /*max_embeddings=*/7);
+  EXPECT_EQ(s.num_embeddings, 7u);
+}
+
+TEST(QueryEngineTest, WorkloadAggregationWeightsByFrequency) {
+  // Two queries: one fully local (single vertex -> ipt 0) and one forced
+  // cross. Weighted combination must follow frequencies.
+  LabeledGraph g;
+  const VertexId va = g.AddVertex(0);
+  const VertexId vb = g.AddVertex(1);
+  g.AddEdgeUnchecked(va, vb);
+  PartitionAssignment split(2, 0);
+  ASSERT_TRUE(split.Assign(va, 0).ok());
+  ASSERT_TRUE(split.Assign(vb, 1).ok());
+
+  Workload w;
+  LabeledGraph lookup;
+  lookup.AddVertex(0);
+  ASSERT_TRUE(w.Add("lookup", lookup, 3.0).ok());
+  ASSERT_TRUE(w.Add("edge", PathQuery({0, 1}), 1.0).ok());
+  w.Normalize();
+
+  const WorkloadIptStats stats = EvaluateWorkloadIpt(g, split, w);
+  // ipt = 0.75 * 0 + 0.25 * 1.0.
+  EXPECT_NEAR(stats.ipt_probability, 0.25, 1e-12);
+  // single-partition: lookup 100% + edge 0%.
+  EXPECT_NEAR(stats.single_partition_fraction, 0.75, 1e-12);
+  ASSERT_EQ(stats.per_query.size(), 2u);
+}
+
+TEST(QueryEngineTest, BetterPartitioningLowersIpt) {
+  // Two triangles joined by one edge; aligned split vs alternating split.
+  LabeledGraph g;
+  for (int i = 0; i < 6; ++i) g.AddVertex(static_cast<Label>(i % 3));
+  g.AddEdgeUnchecked(0, 1);
+  g.AddEdgeUnchecked(1, 2);
+  g.AddEdgeUnchecked(2, 0);
+  g.AddEdgeUnchecked(3, 4);
+  g.AddEdgeUnchecked(4, 5);
+  g.AddEdgeUnchecked(5, 3);
+  g.AddEdgeUnchecked(2, 3);
+
+  PartitionAssignment aligned(2, 0);
+  for (VertexId v = 0; v < 6; ++v) {
+    ASSERT_TRUE(aligned.Assign(v, v < 3 ? 0 : 1).ok());
+  }
+  const PartitionAssignment alternating = Alternating(g);
+
+  Workload w;
+  ASSERT_TRUE(w.Add("tri", TriangleQuery(0, 1, 2), 1.0).ok());
+  w.Normalize();
+  const double ipt_aligned =
+      EvaluateWorkloadIpt(g, aligned, w).ipt_probability;
+  const double ipt_alternating =
+      EvaluateWorkloadIpt(g, alternating, w).ipt_probability;
+  EXPECT_LT(ipt_aligned, ipt_alternating);
+  EXPECT_EQ(ipt_aligned, 0.0);  // both triangles fully local
+}
+
+}  // namespace
+}  // namespace loom

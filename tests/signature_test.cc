@@ -1,0 +1,174 @@
+// Tests for the number-theoretic graph signatures (§4.3): incremental
+// multiplicativity, the no-false-negative divisibility guarantee (validated
+// against the exact VF2 matcher as oracle), and measured collision behaviour.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "motif/canonical.h"
+#include "motif/isomorphism.h"
+#include "motif/signature.h"
+#include "workload/query_builders.h"
+
+namespace loom {
+namespace {
+
+TEST(SignatureSchemeTest, FactorIndicesDisjoint) {
+  const SignatureScheme scheme(4);
+  // Vertex factors occupy [0, 4); edge factors [4, 4 + 10).
+  std::set<uint32_t> seen;
+  for (Label l = 0; l < 4; ++l) {
+    EXPECT_TRUE(seen.insert(scheme.VertexFactor(l)).second);
+  }
+  for (Label a = 0; a < 4; ++a) {
+    for (Label b = a; b < 4; ++b) {
+      EXPECT_TRUE(seen.insert(scheme.EdgeFactor(a, b)).second)
+          << "pair " << a << "," << b;
+    }
+  }
+  EXPECT_EQ(seen.size(), 4u + 10u);
+}
+
+TEST(SignatureSchemeTest, EdgeFactorOrderFree) {
+  const SignatureScheme scheme(5);
+  for (Label a = 0; a < 5; ++a) {
+    for (Label b = 0; b < 5; ++b) {
+      EXPECT_EQ(scheme.EdgeFactor(a, b), scheme.EdgeFactor(b, a));
+    }
+  }
+}
+
+TEST(SignatureTest, IsomorphicGraphsShareSignature) {
+  const SignatureScheme scheme(4);
+  EXPECT_EQ(scheme.SignatureOf(PathQuery({0, 1, 2})),
+            scheme.SignatureOf(PathQuery({2, 1, 0})));
+  EXPECT_EQ(scheme.SignatureOf(PaperQ1()),
+            scheme.SignatureOf(CycleQuery({1, 0, 1, 0})));
+}
+
+TEST(SignatureTest, IncrementalEqualsBatch) {
+  const SignatureScheme scheme(4);
+  const LabeledGraph q = PaperQ3();
+  // Rebuild the signature edge by edge, vertices as first touched.
+  GraphSignature inc;
+  std::vector<bool> seen(q.NumVertices(), false);
+  q.ForEachEdge([&](VertexId u, VertexId v) {
+    if (!seen[u]) {
+      scheme.MultiplyVertex(&inc, q.LabelOf(u));
+      seen[u] = true;
+    }
+    if (!seen[v]) {
+      scheme.MultiplyVertex(&inc, q.LabelOf(v));
+      seen[v] = true;
+    }
+    scheme.MultiplyEdge(&inc, q.LabelOf(u), q.LabelOf(v));
+  });
+  EXPECT_EQ(inc, scheme.SignatureOf(q));
+}
+
+TEST(SignatureTest, SubgraphSignatureDividesSupergraph) {
+  const SignatureScheme scheme(4);
+  // q2 (a-b-c) is a sub-path of q3 (a-b-c-d).
+  EXPECT_TRUE(scheme.SignatureOf(PaperQ2())
+                  .Divides(scheme.SignatureOf(PaperQ3())));
+  EXPECT_FALSE(scheme.SignatureOf(PaperQ3())
+                   .Divides(scheme.SignatureOf(PaperQ2())));
+}
+
+TEST(SignatureTest, MatchImpliesDivisibility_PaperFixture) {
+  const LabeledGraph g = PaperFigure1Graph();
+  const SignatureScheme scheme(4);
+  const GraphSignature sig_g = scheme.SignatureOf(g);
+  for (const LabeledGraph& q : {PaperQ1(), PaperQ2(), PaperQ3()}) {
+    ASSERT_TRUE(ContainsEmbedding(q, g));
+    EXPECT_TRUE(scheme.SignatureOf(q).Divides(sig_g));
+  }
+}
+
+// The load-bearing property (§4.3, "if a graph does not have a signature
+// [dividing] that of a given query graph then it cannot be a match"):
+// whenever the exact matcher finds an embedding of q in g, sig(q) | sig(g).
+// Sweep random graphs and patterns with VF2 as oracle.
+class NoFalseNegatives : public ::testing::TestWithParam<int> {};
+
+TEST_P(NoFalseNegatives, EmbeddingImpliesDivisibility) {
+  Rng rng(GetParam() * 7919 + 13);
+  const uint32_t num_labels = 3;
+  const SignatureScheme scheme(num_labels);
+  for (int trial = 0; trial < 50; ++trial) {
+    const LabeledGraph g = ErdosRenyiGnm(
+        12, static_cast<uint64_t>(rng.UniformInt(8, 22)),
+        LabelConfig{num_labels, 0.0}, rng);
+    const LabeledGraph q = RandomConnectedQuery(
+        static_cast<uint32_t>(rng.UniformInt(2, 4)),
+        static_cast<uint32_t>(rng.UniformInt(0, 2)), num_labels, rng);
+    if (ContainsEmbedding(q, g)) {
+      EXPECT_TRUE(scheme.SignatureOf(q).Divides(scheme.SignatureOf(g)))
+          << "false negative:\nquery " << q.ToString() << "graph "
+          << g.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NoFalseNegatives,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(SignatureTest, CollisionsExistButAreDetectable) {
+  // The documented false-positive case: equal factor multisets for distinct
+  // topologies. A 4-cycle abab and two disjoint... must be connected; use
+  // path a-b-a-b plus edge (a,b) chord forming a different shape with the
+  // same factor counts where possible. Construct the classic: signatures
+  // capture edge label pairs, so the path b-a-b-a-b and the star with centre
+  // a and three b leaves plus... — verify instead that divisibility is
+  // weaker than embedding: sig(q) | sig(g) does NOT imply a match.
+  const SignatureScheme scheme(2);
+  // g: star centre a with 2 b-leaves, plus a tail making 3 a-b edges total.
+  LabeledGraph star = StarQuery(0, {1, 1, 1});
+  // q: path b-a-b uses 2 a-b edges; star contains it (true match).
+  EXPECT_TRUE(scheme.SignatureOf(PathQuery({1, 0, 1})).Divides(
+      scheme.SignatureOf(star)));
+  // q2: path a-b-a-b (3 vertices labelled a? no: labels a,b,a,b) needs two
+  // 'a' vertices; the star has one. Signature-wise: q2 factors = 2 va, 2 vb,
+  // 3 eab; star = 1 va, 3 vb, 3 eab -> vertex factors do not divide. Good.
+  EXPECT_FALSE(scheme.SignatureOf(PathQuery({0, 1, 0, 1})).Divides(
+      scheme.SignatureOf(star)));
+  // A genuine false positive: triangle aab vs path a-a-b + edge? The path
+  // a-b-a (2 eab edges, 2 va, 1 vb) divides the 4-cycle abab signature
+  // (2 va, 2 vb, 4 eab) — and indeed abab contains a-b-a, a true positive.
+  // The known collision shape: cycle abab vs two shapes sharing the factor
+  // multiset {2 va, 2 vb, 4 eab} — e.g. the multigraph-free "theta" is not
+  // constructible on 4 vertices; so equality collisions require >= 5
+  // vertices: cycle ababab vs two triangles? Documented and measured in
+  // bench_signature instead; here we assert the fingerprint hash agrees
+  // with multiset equality on the fixtures.
+  EXPECT_EQ(scheme.SignatureOf(PaperQ1()).Hash(),
+            scheme.SignatureOf(CycleQuery({1, 0, 1, 0})).Hash());
+}
+
+TEST(SignatureTest, EqualSignatureDistinctTopologyExample) {
+  // Constructive collision: both graphs have vertices {a, a, b, b} and edge
+  // label multiset {aa, bb, ab, ab} but different shapes:
+  //   g1: path a-a-b-b plus edge (a0, b1)? that adds an extra ab edge.
+  // Use: g1 = cycle a-a-b-b (edges aa, ab, bb, ba) vs
+  //      g2 = path b-a-a-b with an extra b-b edge between the two b's —
+  //      same 4 edges {aa, ab, ab, bb}, different topology (cycle vs theta-
+  //      like tree+chord = also a cycle? path b-a-a-b + bb edge closes a
+  //      4-cycle b-a-a-b-b... that IS the same cycle).
+  // Simplest true collision: star a<-(b,b) + pendant a-a edge on the centre
+  //   vs path b-a-a-b rearranged: both have edges {ab, ab, aa}, vertices
+  //   {a, a, b, b}:
+  LabeledGraph g1;  // centre a bonded to b, b, and a.
+  {
+    const VertexId c = g1.AddVertex(0);
+    g1.AddEdgeUnchecked(c, g1.AddVertex(1));
+    g1.AddEdgeUnchecked(c, g1.AddVertex(1));
+    g1.AddEdgeUnchecked(c, g1.AddVertex(0));
+  }
+  const LabeledGraph g2 = PathQuery({1, 0, 0, 1});
+  const SignatureScheme scheme(2);
+  EXPECT_EQ(scheme.SignatureOf(g1), scheme.SignatureOf(g2));
+  EXPECT_FALSE(AreIsomorphic(g1, g2));  // the documented collision mode
+}
+
+}  // namespace
+}  // namespace loom

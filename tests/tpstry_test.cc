@@ -1,0 +1,96 @@
+// Tests for the original TPSTry (label-path trie), the E8c ablation
+// structure.
+
+#include <gtest/gtest.h>
+
+#include "tpstry/tpstry.h"
+#include "workload/query_builders.h"
+
+namespace loom {
+namespace {
+
+TEST(TpstryTest, SinglePathQuery) {
+  Tpstry t;
+  ASSERT_TRUE(t.AddQuery(PathQuery({0, 1, 2}), 1.0).ok());
+  t.Normalize();
+  // Distinct direction-deduplicated label sequences of a-b-c:
+  // a; b; c; ab; bc; abc  (ba == ab reversed etc.)
+  EXPECT_DOUBLE_EQ(t.SupportOf({0}), 1.0);
+  EXPECT_DOUBLE_EQ(t.SupportOf({0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(t.SupportOf({0, 1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(t.SupportOf({1, 2, 0}), 0.0);
+}
+
+TEST(TpstryTest, DirectionDeduplicated) {
+  Tpstry t;
+  ASSERT_TRUE(t.AddQuery(PathQuery({2, 1, 0}), 1.0).ok());
+  t.Normalize();
+  // min(fwd, rev) of c-b-a is a-b-c.
+  EXPECT_DOUBLE_EQ(t.SupportOf({0, 1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(t.SupportOf({2, 1, 0}), 0.0);
+}
+
+TEST(TpstryTest, SupportAccumulatesAcrossQueries) {
+  Tpstry t;
+  ASSERT_TRUE(t.AddQuery(PathQuery({0, 1}), 3.0).ok());
+  ASSERT_TRUE(t.AddQuery(PathQuery({0, 1, 2}), 1.0).ok());
+  t.Normalize();
+  // Path a-b occurs in both queries: support (3 + 1) / 4.
+  EXPECT_DOUBLE_EQ(t.SupportOf({0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(t.SupportOf({0, 1, 2}), 0.25);
+}
+
+TEST(TpstryTest, CountedOncePerQueryDespiteMultipleEmbeddings) {
+  Tpstry t;
+  // Star a-(b,b): the path b-a-b has two embeddings but one label sequence;
+  // path a-b likewise.
+  ASSERT_TRUE(t.AddQuery(StarQuery(0, {1, 1}), 1.0).ok());
+  t.Normalize();
+  EXPECT_DOUBLE_EQ(t.SupportOf({0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(t.SupportOf({1, 0, 1}), 1.0);
+}
+
+TEST(TpstryTest, FrequentPathsThreshold) {
+  Tpstry t;
+  ASSERT_TRUE(t.AddQuery(PathQuery({0, 1, 2}), 3.0).ok());
+  ASSERT_TRUE(t.AddQuery(PathQuery({2, 3}), 1.0).ok());
+  t.Normalize();
+  const auto frequent = t.FrequentPaths(0.5);
+  // {0,1,2} branch paths have support 0.75; {2,3} has 0.25.
+  for (const auto& p : frequent) {
+    EXPECT_GE(t.SupportOf(p), 0.5);
+  }
+  EXPECT_FALSE(frequent.empty());
+  // Longest first.
+  for (size_t i = 1; i < frequent.size(); ++i) {
+    EXPECT_GE(frequent[i - 1].size(), frequent[i].size());
+  }
+}
+
+TEST(TpstryTest, CycleQueryYieldsBoundedPaths) {
+  Tpstry t;
+  ASSERT_TRUE(t.AddQuery(PaperQ1(), 1.0, /*max_path_vertices=*/4).ok());
+  t.Normalize();
+  // Paths within abab cycle: a; b; ab; aba; bab; abab...
+  EXPECT_DOUBLE_EQ(t.SupportOf({0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(t.SupportOf({0, 1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(t.SupportOf({0, 1, 0, 1}), 1.0);
+  EXPECT_GT(t.NumNodes(), 0u);
+}
+
+TEST(TpstryTest, RejectsBadInput) {
+  Tpstry t;
+  EXPECT_FALSE(t.AddQuery(LabeledGraph(), 1.0).ok());
+  EXPECT_FALSE(t.AddQuery(PathQuery({0}), 0.0).ok());
+}
+
+TEST(TpstryTest, NodeCountGrowsWithDistinctPaths) {
+  Tpstry t;
+  ASSERT_TRUE(t.AddQuery(PathQuery({0, 1}), 1.0).ok());
+  const size_t n1 = t.NumNodes();
+  ASSERT_TRUE(t.AddQuery(PathQuery({2, 3}), 1.0).ok());
+  EXPECT_GT(t.NumNodes(), n1);
+}
+
+}  // namespace
+}  // namespace loom

@@ -1,0 +1,107 @@
+// Tests for the sliding stream window.
+
+#include <gtest/gtest.h>
+
+#include "stream/window.h"
+
+namespace loom {
+namespace {
+
+TEST(WindowTest, PushAndContains) {
+  StreamWindow w(3);
+  w.Push(10, 0, {});
+  EXPECT_TRUE(w.Contains(10));
+  EXPECT_FALSE(w.Contains(11));
+  EXPECT_EQ(w.Size(), 1u);
+  EXPECT_FALSE(w.Full());
+}
+
+TEST(WindowTest, FullAtCapacity) {
+  StreamWindow w(2);
+  w.Push(1, 0, {});
+  w.Push(2, 0, {});
+  EXPECT_TRUE(w.Full());
+}
+
+TEST(WindowTest, PopOldestIsFifo) {
+  StreamWindow w(3);
+  w.Push(5, 0, {});
+  w.Push(6, 0, {});
+  w.Push(7, 0, {});
+  EXPECT_EQ(w.Oldest(), 5u);
+  EXPECT_EQ(w.PopOldest().id, 5u);
+  EXPECT_EQ(w.PopOldest().id, 6u);
+  EXPECT_EQ(w.PopOldest().id, 7u);
+  EXPECT_TRUE(w.Empty());
+}
+
+TEST(WindowTest, BackEdgesRecordedSymmetrically) {
+  StreamWindow w(4);
+  w.Push(1, 0, {});
+  w.Push(2, 1, {1});
+  const WindowMember& m1 = w.Get(1);
+  const WindowMember& m2 = w.Get(2);
+  ASSERT_EQ(m1.neighbors.size(), 1u);
+  EXPECT_EQ(m1.neighbors[0], 2u);
+  ASSERT_EQ(m2.neighbors.size(), 1u);
+  EXPECT_EQ(m2.neighbors[0], 1u);
+}
+
+TEST(WindowTest, EdgesToEvictedVerticesKeptOnArrival) {
+  StreamWindow w(2);
+  w.Push(1, 0, {});
+  w.Push(2, 0, {1});
+  const WindowMember evicted = w.PopOldest();  // vertex 1 leaves
+  EXPECT_EQ(evicted.id, 1u);
+  // New arrival references the evicted vertex: recorded for LDG scoring,
+  // no symmetric update (vertex 1 is gone).
+  w.Push(3, 0, {1, 2});
+  const WindowMember& m3 = w.Get(3);
+  EXPECT_EQ(m3.neighbors.size(), 2u);
+}
+
+TEST(WindowTest, RemoveArbitraryMember) {
+  StreamWindow w(3);
+  w.Push(1, 0, {});
+  w.Push(2, 0, {});
+  w.Push(3, 0, {});
+  const WindowMember m = w.Remove(2);
+  EXPECT_EQ(m.id, 2u);
+  EXPECT_FALSE(w.Contains(2));
+  EXPECT_EQ(w.Size(), 2u);
+  // Age order skips the removed member.
+  EXPECT_EQ(w.PopOldest().id, 1u);
+  EXPECT_EQ(w.PopOldest().id, 3u);
+}
+
+TEST(WindowTest, RemoveOldestThenOldestAdvances) {
+  StreamWindow w(3);
+  w.Push(1, 0, {});
+  w.Push(2, 0, {});
+  w.Remove(1);
+  EXPECT_EQ(w.Oldest(), 2u);
+}
+
+TEST(WindowTest, ArrivalSequenceMonotone) {
+  StreamWindow w(3);
+  w.Push(9, 0, {});
+  w.Push(4, 0, {});
+  EXPECT_LT(w.Get(9).arrival_seq, w.Get(4).arrival_seq);
+}
+
+TEST(WindowTest, MembersInOrder) {
+  StreamWindow w(4);
+  w.Push(3, 0, {});
+  w.Push(1, 0, {});
+  w.Push(2, 0, {});
+  w.Remove(1);
+  EXPECT_EQ(w.MembersInOrder(), (std::vector<VertexId>{3, 2}));
+}
+
+TEST(WindowTest, CapacityOfZeroBecomesOne) {
+  StreamWindow w(0);
+  EXPECT_EQ(w.Capacity(), 1u);
+}
+
+}  // namespace
+}  // namespace loom

@@ -1,0 +1,157 @@
+// Tests for the workload model, query builders and generators.
+
+#include <gtest/gtest.h>
+
+#include "workload/query_builders.h"
+#include "workload/workload.h"
+#include "workload/workload_gen.h"
+
+namespace loom {
+namespace {
+
+TEST(WorkloadTest, AddValidatesInput) {
+  Workload w;
+  EXPECT_FALSE(w.Add("empty", LabeledGraph(), 1.0).ok());
+  EXPECT_FALSE(w.Add("zero-freq", PathQuery({0, 1}), 0.0).ok());
+  LabeledGraph disconnected;
+  disconnected.AddVertex(0);
+  disconnected.AddVertex(1);
+  EXPECT_FALSE(w.Add("disconnected", disconnected, 1.0).ok());
+  EXPECT_TRUE(w.Add("ok", PathQuery({0, 1}), 1.0).ok());
+  EXPECT_EQ(w.NumQueries(), 1u);
+}
+
+TEST(WorkloadTest, NormalizeScalesToOne) {
+  Workload w;
+  ASSERT_TRUE(w.Add("a", PathQuery({0, 1}), 3.0).ok());
+  ASSERT_TRUE(w.Add("b", PathQuery({1, 2}), 1.0).ok());
+  w.Normalize();
+  EXPECT_DOUBLE_EQ(w.TotalFrequency(), 1.0);
+  EXPECT_DOUBLE_EQ(w.queries()[0].frequency, 0.75);
+  EXPECT_DOUBLE_EQ(w.queries()[1].frequency, 0.25);
+}
+
+TEST(WorkloadTest, NumLabelsCoversAllPatterns) {
+  Workload w;
+  ASSERT_TRUE(w.Add("a", PathQuery({0, 5}), 1.0).ok());
+  EXPECT_EQ(w.NumLabels(), 6u);
+}
+
+TEST(WorkloadTest, SampleFollowsFrequencies) {
+  Workload w;
+  ASSERT_TRUE(w.Add("heavy", PathQuery({0, 1}), 9.0).ok());
+  ASSERT_TRUE(w.Add("light", PathQuery({1, 2}), 1.0).ok());
+  w.Normalize();
+  Rng rng(1);
+  int heavy = 0;
+  const int trials = 10000;
+  for (int i = 0; i < trials; ++i) {
+    if (w.SampleIndex(rng) == 0) ++heavy;
+  }
+  EXPECT_NEAR(heavy / static_cast<double>(trials), 0.9, 0.02);
+}
+
+TEST(QueryBuildersTest, Shapes) {
+  EXPECT_EQ(PathQuery({0, 1, 2}).NumEdges(), 2u);
+  EXPECT_EQ(StarQuery(0, {1, 2, 3}).NumEdges(), 3u);
+  EXPECT_EQ(CycleQuery({0, 1, 2, 3}).NumEdges(), 4u);
+  EXPECT_EQ(CliqueQuery({0, 1, 2, 3}).NumEdges(), 6u);
+  EXPECT_EQ(TriangleQuery(0, 1, 2).NumEdges(), 3u);
+  EXPECT_TRUE(IsConnected(StarQuery(0, {1, 2, 3, 4})));
+}
+
+TEST(QueryBuildersTest, RandomConnectedQueryIsConnected) {
+  Rng rng(2);
+  for (int i = 0; i < 30; ++i) {
+    const LabeledGraph q = RandomConnectedQuery(5, 2, 3, rng);
+    EXPECT_TRUE(IsConnected(q));
+    EXPECT_EQ(q.NumVertices(), 5u);
+    EXPECT_GE(q.NumEdges(), 4u);
+  }
+}
+
+TEST(QueryBuildersTest, PaperFixtures) {
+  const LabeledGraph g = PaperFigure1Graph();
+  EXPECT_EQ(g.NumVertices(), 8u);
+  EXPECT_EQ(g.NumEdges(), 9u);
+  // Label layout from Figure 1.
+  EXPECT_EQ(g.LabelOf(0), kLabelA);
+  EXPECT_EQ(g.LabelOf(1), kLabelB);
+  EXPECT_EQ(g.LabelOf(2), kLabelC);
+  EXPECT_EQ(g.LabelOf(3), kLabelD);
+  EXPECT_EQ(g.LabelOf(4), kLabelB);
+  EXPECT_EQ(g.LabelOf(5), kLabelA);
+  EXPECT_EQ(g.LabelOf(6), kLabelD);
+  EXPECT_EQ(g.LabelOf(7), kLabelC);
+
+  const Workload w = PaperFigure1Workload();
+  EXPECT_EQ(w.NumQueries(), 3u);
+  EXPECT_EQ(w.NumLabels(), 4u);
+  EXPECT_NEAR(w.queries()[0].frequency, 1.0 / 3.0, 1e-12);
+}
+
+TEST(WorkloadGenTest, PathWorkloadShapes) {
+  WorkloadGenOptions o;
+  o.num_queries = 8;
+  o.max_pattern_vertices = 5;
+  const Workload w = PathWorkload(o);
+  EXPECT_EQ(w.NumQueries(), 8u);
+  for (const QuerySpec& q : w.queries()) {
+    // Paths: m = n - 1 and max degree 2.
+    EXPECT_EQ(q.pattern.NumEdges(), q.pattern.NumVertices() - 1);
+    for (VertexId v = 0; v < q.pattern.NumVertices(); ++v) {
+      EXPECT_LE(q.pattern.Degree(v), 2u);
+    }
+  }
+}
+
+TEST(WorkloadGenTest, MixedWorkloadConnectedAndSmall) {
+  WorkloadGenOptions o;
+  o.num_queries = 10;
+  o.max_pattern_vertices = 5;
+  const Workload w = MixedMotifWorkload(o);
+  EXPECT_EQ(w.NumQueries(), 10u);
+  for (const QuerySpec& q : w.queries()) {
+    EXPECT_TRUE(IsConnected(q.pattern));
+    EXPECT_LE(q.pattern.NumVertices(), 6u);
+    EXPECT_GE(q.pattern.NumVertices(), 2u);
+  }
+}
+
+TEST(WorkloadGenTest, SkewedFrequenciesDescend) {
+  WorkloadGenOptions o;
+  o.num_queries = 6;
+  o.frequency_skew = 1.2;
+  const Workload w = MixedMotifWorkload(o);
+  for (size_t i = 1; i < w.NumQueries(); ++i) {
+    EXPECT_GE(w.queries()[i - 1].frequency, w.queries()[i].frequency);
+  }
+}
+
+TEST(WorkloadGenTest, LookupWorkloadIsSingleVertices) {
+  WorkloadGenOptions o;
+  o.num_labels = 4;
+  o.num_queries = 4;
+  const Workload w = LookupWorkload(o);
+  for (const QuerySpec& q : w.queries()) {
+    EXPECT_EQ(q.pattern.NumVertices(), 1u);
+    EXPECT_EQ(q.pattern.NumEdges(), 0u);
+  }
+}
+
+TEST(WorkloadGenTest, DeterministicBySeed) {
+  WorkloadGenOptions o;
+  o.seed = 123;
+  const Workload w1 = MixedMotifWorkload(o);
+  const Workload w2 = MixedMotifWorkload(o);
+  ASSERT_EQ(w1.NumQueries(), w2.NumQueries());
+  for (size_t i = 0; i < w1.NumQueries(); ++i) {
+    EXPECT_EQ(w1.queries()[i].pattern.NumVertices(),
+              w2.queries()[i].pattern.NumVertices());
+    EXPECT_EQ(w1.queries()[i].pattern.NumEdges(),
+              w2.queries()[i].pattern.NumEdges());
+  }
+}
+
+}  // namespace
+}  // namespace loom

@@ -1,0 +1,235 @@
+// loom_partition: command-line front end for the LOOM partitioner.
+//
+// Reads a labelled graph and a query workload, streams the graph under a
+// chosen ordering through a chosen partitioner, writes the assignment, and
+// reports quality metrics.
+//
+// Usage:
+//   loom_partition --graph g.loom --workload w.loom --out assignment.loom
+//                  [--partitioner loom|ldg|fennel|hash|metis]
+//                  [--k 8] [--window 1024] [--threshold 0.2]
+//                  [--order random|bfs|dfs|adversarial|stochastic|natural]
+//                  [--slack 1.1] [--seed 42] [--traversal-weights]
+//                  [--evaluate]
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/loom.h"
+#include "graph/io.h"
+#include "metrics/metrics.h"
+#include "partition/fennel_partitioner.h"
+#include "partition/hash_partitioner.h"
+#include "partition/ldg_partitioner.h"
+#include "partition/offline_partitioner.h"
+#include "partition/partition_io.h"
+#include "stream/stream.h"
+#include "workload/query_engine.h"
+#include "workload/workload_io.h"
+
+namespace {
+
+struct Args {
+  std::string graph_path;
+  std::string workload_path;
+  std::string out_path;
+  std::string partitioner = "loom";
+  std::string order = "natural";
+  uint32_t k = 8;
+  size_t window = 1024;
+  double threshold = 0.2;
+  double slack = 1.1;
+  uint64_t seed = 42;
+  bool traversal_weights = false;
+  bool evaluate = false;
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (flag == "--graph") {
+      const char* v = next();
+      if (!v) return false;
+      args->graph_path = v;
+    } else if (flag == "--workload") {
+      const char* v = next();
+      if (!v) return false;
+      args->workload_path = v;
+    } else if (flag == "--out") {
+      const char* v = next();
+      if (!v) return false;
+      args->out_path = v;
+    } else if (flag == "--partitioner") {
+      const char* v = next();
+      if (!v) return false;
+      args->partitioner = v;
+    } else if (flag == "--order") {
+      const char* v = next();
+      if (!v) return false;
+      args->order = v;
+    } else if (flag == "--k") {
+      const char* v = next();
+      if (!v) return false;
+      args->k = static_cast<uint32_t>(std::stoul(v));
+    } else if (flag == "--window") {
+      const char* v = next();
+      if (!v) return false;
+      args->window = std::stoul(v);
+    } else if (flag == "--threshold") {
+      const char* v = next();
+      if (!v) return false;
+      args->threshold = std::stod(v);
+    } else if (flag == "--slack") {
+      const char* v = next();
+      if (!v) return false;
+      args->slack = std::stod(v);
+    } else if (flag == "--seed") {
+      const char* v = next();
+      if (!v) return false;
+      args->seed = std::stoull(v);
+    } else if (flag == "--traversal-weights") {
+      args->traversal_weights = true;
+    } else if (flag == "--evaluate") {
+      args->evaluate = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return !args->graph_path.empty() && !args->out_path.empty();
+}
+
+loom::StreamOrder ParseOrder(const std::string& name) {
+  using loom::StreamOrder;
+  if (name == "random") return StreamOrder::kRandom;
+  if (name == "bfs") return StreamOrder::kBfs;
+  if (name == "dfs") return StreamOrder::kDfs;
+  if (name == "adversarial") return StreamOrder::kAdversarial;
+  if (name == "stochastic") return StreamOrder::kStochastic;
+  return StreamOrder::kNatural;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace loom;
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    std::fprintf(stderr,
+                 "usage: loom_partition --graph G --out A [--workload W] "
+                 "[--partitioner loom|ldg|fennel|hash|metis] [--k K] "
+                 "[--window N] [--threshold T] [--order O] [--slack S] "
+                 "[--seed N] [--traversal-weights] [--evaluate]\n");
+    return 2;
+  }
+
+  auto graph = LoadGraph(args.graph_path);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "graph: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("graph: %zu vertices, %zu edges\n", graph->NumVertices(),
+              graph->NumEdges());
+
+  Workload workload;
+  if (!args.workload_path.empty()) {
+    auto loaded = LoadWorkload(args.workload_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "workload: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    workload = std::move(loaded).value();
+    workload.Normalize();
+    std::printf("workload: %zu queries\n", workload.NumQueries());
+  } else if (args.partitioner == "loom") {
+    std::fprintf(stderr, "--partitioner loom requires --workload\n");
+    return 2;
+  }
+
+  Rng rng(args.seed);
+  const GraphStream stream =
+      MakeStream(*graph, ParseOrder(args.order), rng);
+
+  PartitionerOptions popts;
+  popts.k = args.k;
+  popts.num_vertices_hint = graph->NumVertices();
+  popts.num_edges_hint = graph->NumEdges();
+  popts.capacity_slack = args.slack;
+  popts.window_size = args.window;
+  popts.seed = args.seed;
+
+  const PartitionAssignment* result = nullptr;
+  std::unique_ptr<Loom> loom_instance;
+  std::unique_ptr<StreamingPartitioner> streaming;
+  PartitionAssignment offline_result(args.k, 0);
+
+  if (args.partitioner == "loom") {
+    LoomOptions lopts;
+    lopts.partitioner = popts;
+    lopts.matcher.frequency_threshold = args.threshold;
+    lopts.use_traversal_weights = args.traversal_weights;
+    auto loom = Loom::Create(workload, lopts);
+    if (!loom.ok()) {
+      std::fprintf(stderr, "loom: %s\n", loom.status().ToString().c_str());
+      return 1;
+    }
+    loom_instance = std::move(loom).value();
+    loom_instance->Partitioner().Run(stream);
+    result = &loom_instance->Partitioner().assignment();
+  } else if (args.partitioner == "metis") {
+    OfflineOptions oopts;
+    oopts.k = args.k;
+    oopts.balance_slack = args.slack;
+    oopts.seed = args.seed;
+    auto offline = OfflineMultilevelPartition(*graph, oopts);
+    if (!offline.ok()) {
+      std::fprintf(stderr, "metis: %s\n",
+                   offline.status().ToString().c_str());
+      return 1;
+    }
+    offline_result = std::move(offline).value();
+    result = &offline_result;
+  } else {
+    if (args.partitioner == "ldg") {
+      streaming = std::make_unique<LdgPartitioner>(popts);
+    } else if (args.partitioner == "fennel") {
+      streaming = std::make_unique<FennelPartitioner>(popts);
+    } else if (args.partitioner == "hash") {
+      streaming = std::make_unique<HashPartitioner>(popts);
+    } else {
+      std::fprintf(stderr, "unknown partitioner: %s\n",
+                   args.partitioner.c_str());
+      return 2;
+    }
+    streaming->Run(stream);
+    result = &streaming->assignment();
+  }
+
+  const Status save = SaveAssignment(*result, args.out_path);
+  if (!save.ok()) {
+    std::fprintf(stderr, "save: %s\n", save.ToString().c_str());
+    return 1;
+  }
+  std::printf("assignment: %zu vertices -> %u partitions (%s), written to %s\n",
+              result->NumAssigned(), result->k(),
+              SizesToString(*result).c_str(), args.out_path.c_str());
+  std::printf("edge-cut: %.1f%%  balance: %.3f\n",
+              100.0 * EdgeCutFraction(*graph, *result),
+              BalanceMaxOverAvg(*result));
+
+  if (args.evaluate && workload.NumQueries() > 0) {
+    const WorkloadIptStats s = EvaluateWorkloadIpt(*graph, *result, workload);
+    std::printf("workload: ipt-prob %.1f%%  single-partition answers %.1f%%  "
+                "answer-edge cut %.1f%%\n",
+                100.0 * s.ipt_probability,
+                100.0 * s.single_partition_fraction,
+                100.0 * s.embedding_cut_fraction);
+  }
+  return 0;
+}
