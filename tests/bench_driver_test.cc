@@ -1,0 +1,248 @@
+// Contract test for tools/run_benchmarks: `--fast` must produce valid JSON
+// with the metric keys later PRs regress against (edge-cut fraction,
+// balance, throughput). The binary path is injected by CMake via the
+// RUN_BENCHMARKS_BIN compile definition.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#ifndef _WIN32
+#include <stdlib.h>  // mkdtemp
+#endif
+
+namespace loom {
+namespace {
+
+// ------------------------------------------------ minimal JSON validation
+// A tiny recursive-descent checker: accepts exactly the JSON grammar (no
+// extensions), which is all the contract needs — we assert validity and
+// then look for specific keys in the raw text.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  // RFC 8259: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+  bool Number() {
+    if (Peek() == '-') ++pos_;
+    if (Peek() == '0') {
+      ++pos_;
+    } else if (isdigit(static_cast<unsigned char>(Peek()))) {
+      while (isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    } else {
+      return false;
+    }
+    if (Peek() == '.') {
+      ++pos_;
+      if (!isdigit(static_cast<unsigned char>(Peek()))) return false;
+      while (isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (!isdigit(static_cast<unsigned char>(Peek()))) return false;
+      while (isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    return true;
+  }
+
+  bool Literal(const std::string& lit) {
+    if (s_.compare(pos_, lit.size(), lit) != 0) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream f(path);
+  EXPECT_TRUE(f.good()) << "missing file: " << path;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+class BenchDriverTest : public ::testing::Test {
+ protected:
+  // Run the driver once for the whole fixture; --fast still takes seconds.
+  // The output dir is unique per process (mkdtemp) so concurrent runs of
+  // this binary never race on the same BENCH_*.json paths.
+  static void SetUpTestSuite() {
+#ifdef _WIN32
+    GTEST_SKIP() << "driver contract test is POSIX-only";
+#else
+    std::string tmpl = ::testing::TempDir() + "loom_bench_driver_XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl.data()), nullptr) << "mkdtemp failed: " << tmpl;
+    out_dir_ = new std::string(tmpl);
+    const std::string cmd = std::string(RUN_BENCHMARKS_BIN) +
+                            " --fast --out " + *out_dir_ + " > /dev/null";
+    exit_code_ = std::system(cmd.c_str());
+#endif
+  }
+  static void TearDownTestSuite() {
+    delete out_dir_;
+    out_dir_ = nullptr;
+  }
+
+  static std::string* out_dir_;
+  static int exit_code_;
+};
+
+std::string* BenchDriverTest::out_dir_ = nullptr;
+int BenchDriverTest::exit_code_ = -1;
+
+TEST_F(BenchDriverTest, ExitsCleanly) { EXPECT_EQ(exit_code_, 0); }
+
+TEST_F(BenchDriverTest, EdgeCutJsonIsValidWithExpectedKeys) {
+  const std::string text = ReadFileOrDie(*out_dir_ + "/BENCH_edge_cut.json");
+  ASSERT_FALSE(text.empty());
+  EXPECT_TRUE(JsonChecker(text).Valid()) << text;
+  EXPECT_NE(text.find("\"schema\": \"loom-bench-edge-cut-v1\""),
+            std::string::npos);
+  for (const char* key :
+       {"\"edge_cut_fraction\"", "\"balance\"", "\"vertices_per_second\"",
+        "\"partitioner\"", "\"graph\""}) {
+    EXPECT_NE(text.find(key), std::string::npos) << "missing key " << key;
+  }
+  // The standard set must be present: hash, ldg, fennel, buffered, loom,
+  // plus the offline baseline.
+  for (const char* p : {"\"hash\"", "\"ldg\"", "\"fennel\"", "\"loom\""}) {
+    EXPECT_NE(text.find(p), std::string::npos) << "missing partitioner " << p;
+  }
+}
+
+TEST_F(BenchDriverTest, MicroJsonIsValidWithExpectedKeys) {
+  const std::string text = ReadFileOrDie(*out_dir_ + "/BENCH_micro.json");
+  ASSERT_FALSE(text.empty());
+  EXPECT_TRUE(JsonChecker(text).Valid()) << text;
+  EXPECT_NE(text.find("\"schema\": \"loom-bench-micro-v1\""),
+            std::string::npos);
+  for (const char* key : {"\"name\"", "\"iterations\"", "\"seconds\"",
+                          "\"ns_per_op\"", "\"ops_per_second\""}) {
+    EXPECT_NE(text.find(key), std::string::npos) << "missing key " << key;
+  }
+}
+
+TEST(JsonCheckerTest, AcceptsAndRejects) {
+  EXPECT_TRUE(JsonChecker("{}").Valid());
+  EXPECT_TRUE(JsonChecker("{\"a\": [1, 2.5e-3, \"x\"], \"b\": {}}").Valid());
+  EXPECT_TRUE(JsonChecker("[-0.5, 0, 1e+9, true, null]").Valid());
+  EXPECT_FALSE(JsonChecker("{\"a\": }").Valid());
+  EXPECT_FALSE(JsonChecker("{").Valid());
+  EXPECT_FALSE(JsonChecker("{} trailing").Valid());
+  // Non-JSON number tokens must be rejected.
+  EXPECT_FALSE(JsonChecker("1.2.3").Valid());
+  EXPECT_FALSE(JsonChecker("-").Valid());
+  EXPECT_FALSE(JsonChecker("+5").Valid());
+  EXPECT_FALSE(JsonChecker("1e++2").Valid());
+  EXPECT_FALSE(JsonChecker("01").Valid());
+  EXPECT_FALSE(JsonChecker("1.").Valid());
+}
+
+}  // namespace
+}  // namespace loom

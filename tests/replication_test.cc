@@ -119,7 +119,9 @@ TEST(ReplicationTest, PerVertexPartitionCapRespected) {
       ComputeHotspotReplicas(g, hash.assignment(), w, ropts);
   for (VertexId v = 0; v < g.NumVertices(); ++v) {
     const auto* parts = replicas.PartitionsOf(v);
-    if (parts != nullptr) EXPECT_LE(parts->size(), 2u);
+    if (parts != nullptr) {
+      EXPECT_LE(parts->size(), 2u);
+    }
   }
 }
 

@@ -115,7 +115,9 @@ TEST(TpstryPPTest, UsefulBitmapCoversAncestorsOfFrequent) {
   const auto useful = trie.UsefulBitmap(0.9);
   // Useful ⊇ frequent.
   for (TpstryNodeId id = 0; id < trie.NumNodes(); ++id) {
-    if (frequent[id]) EXPECT_TRUE(useful[id]);
+    if (frequent[id]) {
+      EXPECT_TRUE(useful[id]);
+    }
     // And every useful node reaches a frequent one via children.
     if (useful[id] && !frequent[id]) {
       bool reaches = false;
