@@ -1,7 +1,6 @@
 #include "core/loom_partitioner.h"
 
 #include <algorithm>
-#include <cassert>
 #include <deque>
 #include <unordered_set>
 
@@ -35,7 +34,9 @@ void LoomPartitioner::OnVertex(VertexId v, Label label,
 
   if (window_.Full()) EvictOldest();
 
-  window_.Push(v, label, back_edges);
+  // Restream arrivals already carry the full neighbourhood; reverse
+  // recording would double every window-internal edge.
+  window_.Push(v, label, back_edges, /*record_reverse=*/!HasPrior());
   // The matcher only sees the in-window part of the neighbourhood; edges to
   // already-assigned vertices cannot belong to a window motif match.
   std::vector<VertexId> in_window;
@@ -48,6 +49,13 @@ void LoomPartitioner::OnVertex(VertexId v, Label label,
 
 void LoomPartitioner::Finish() {
   while (!window_.Empty()) EvictOldest();
+}
+
+void LoomPartitioner::BeginPass(const PartitionAssignment* prior) {
+  StreamingPartitioner::BeginPass(prior);
+  window_ = StreamWindow(loom_options_.partitioner.window_size);
+  matcher_ = StreamMatcher(trie_, loom_options_.matcher);
+  loom_stats_ = LoomStats();
 }
 
 double LoomPartitioner::EdgeWeightTo(Label member_label, VertexId w) const {
@@ -70,7 +78,7 @@ void LoomPartitioner::ScoreVertices(const std::vector<VertexId>& vertices,
   for (const VertexId member : vertices) {
     const WindowMember& m = window_.Get(member);
     for (const VertexId w : m.neighbors) {
-      const int32_t p = assignment_.PartOf(w);
+      const int32_t p = ScorePartOf(w);
       if (p >= 0) {
         (*scores)[static_cast<uint32_t>(p)] += EdgeWeightTo(m.label, w);
       }
@@ -87,7 +95,7 @@ void LoomPartitioner::EvictOldest() {
     const WindowMember member = window_.Remove(oldest);
     matcher_.RemoveVertex(oldest);
     AssignSingle(member);
-    ++stats_.single_vertices;
+    ++loom_stats_.single_vertices;
     return;
   }
 
@@ -102,13 +110,13 @@ void LoomPartitioner::EvictOldest() {
       PickLdgPartitionWeighted(assignment_, scores_, cluster.size());
   if (part < assignment_.k()) {
     AssignCluster(cluster, part);
-    ++stats_.clusters_assigned;
-    stats_.cluster_vertices += cluster.size();
+    ++loom_stats_.clusters_assigned;
+    loom_stats_.cluster_vertices += cluster.size();
     return;
   }
 
   // No partition can hold the whole cluster (§4.4's balance risk).
-  ++stats_.clusters_split;
+  ++loom_stats_.clusters_split;
   if (loom_options_.local_cluster_split) {
     SplitAndAssignCluster(cluster);
     return;
@@ -121,7 +129,7 @@ void LoomPartitioner::EvictOldest() {
     const WindowMember m = window_.Remove(member);
     matcher_.RemoveVertex(member);
     AssignSingle(m);
-    ++stats_.single_vertices;
+    ++loom_stats_.single_vertices;
   }
 }
 
@@ -135,7 +143,8 @@ void LoomPartitioner::SplitAndAssignCluster(
   for (uint32_t p = 0; p < assignment_.k(); ++p) {
     max_free = std::max(max_free, assignment_.FreeCapacity(p));
   }
-  assert(max_free >= 1 && "capacity misconfigured: no free slot at all");
+  // max_free == 0 (every partition at C) degrades to single-vertex chunks,
+  // which AssignSingle's overflow fallback places without dropping anything.
   const size_t chunk_cap = std::max<size_t>(1, max_free);
 
   const std::unordered_set<VertexId> in_cluster(cluster.begin(),
@@ -167,10 +176,10 @@ void LoomPartitioner::SplitAndAssignCluster(
     ScoreVertices(chunk, &scores_);
     const uint32_t part =
         PickLdgPartitionWeighted(assignment_, scores_, chunk.size());
-    ++stats_.split_chunks;
+    ++loom_stats_.split_chunks;
     if (part < assignment_.k()) {
       AssignCluster(chunk, part);
-      stats_.cluster_vertices += chunk.size();
+      loom_stats_.cluster_vertices += chunk.size();
     } else {
       // Even the chunk does not fit anywhere as a unit: place its members
       // individually (capacity-total guarantees a slot per vertex).
@@ -178,7 +187,7 @@ void LoomPartitioner::SplitAndAssignCluster(
         const WindowMember m = window_.Remove(member);
         matcher_.RemoveVertex(member);
         AssignSingle(m);
-        ++stats_.single_vertices;
+        ++loom_stats_.single_vertices;
       }
     }
   }
@@ -187,16 +196,12 @@ void LoomPartitioner::SplitAndAssignCluster(
 void LoomPartitioner::AssignSingle(const WindowMember& member) {
   std::fill(scores_.begin(), scores_.end(), 0.0);
   for (const VertexId w : member.neighbors) {
-    const int32_t p = assignment_.PartOf(w);
+    const int32_t p = ScorePartOf(w);
     if (p >= 0) {
       scores_[static_cast<uint32_t>(p)] += EdgeWeightTo(member.label, w);
     }
   }
-  const uint32_t part = PickLdgPartitionWeighted(assignment_, scores_);
-  assert(part < assignment_.k() && "all partitions full");
-  const Status s = assignment_.Assign(member.id, part);
-  assert(s.ok());
-  (void)s;
+  AssignOrFallback(member.id, PickLdgPartitionWeighted(assignment_, scores_));
 }
 
 void LoomPartitioner::AssignCluster(const std::vector<VertexId>& cluster,
@@ -204,9 +209,10 @@ void LoomPartitioner::AssignCluster(const std::vector<VertexId>& cluster,
   for (const VertexId member : cluster) {
     window_.Remove(member);
     matcher_.RemoveVertex(member);
-    const Status s = assignment_.Assign(member, part);
-    assert(s.ok());
-    (void)s;
+    // The cluster path only picks partitions with room for the whole
+    // cluster, but AssignOrFallback still guards the invariant: no vertex
+    // is ever dropped and no Assign error is discarded.
+    AssignOrFallback(member, part);
   }
 }
 

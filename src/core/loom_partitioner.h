@@ -40,9 +40,14 @@ class LoomPartitioner : public StreamingPartitioner {
 
   void Finish() override;
 
+  /// Restream hook: also resets the window, the matcher and the per-pass
+  /// LOOM cluster counters, so each pass starts clean and its stats are
+  /// independently meaningful even if the previous use stopped mid-stream.
+  void BeginPass(const PartitionAssignment* prior) override;
+
   std::string Name() const override { return "loom"; }
 
-  const LoomStats& loom_stats() const { return stats_; }
+  const LoomStats& loom_stats() const { return loom_stats_; }
   const StreamMatcherStats& matcher_stats() const { return matcher_.stats(); }
 
  private:
@@ -72,7 +77,9 @@ class LoomPartitioner : public StreamingPartitioner {
   LoomOptions loom_options_;
   StreamWindow window_;
   StreamMatcher matcher_;
-  LoomStats stats_;
+  /// LOOM-specific counters; named apart from the base's PartitionerStats
+  /// `stats_` so neither shadows the other.
+  LoomStats loom_stats_;
   std::vector<double> scores_;
   /// Label of every vertex ever seen (index = VertexId); needed to weight
   /// edges towards already-assigned endpoints.

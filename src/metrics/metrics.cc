@@ -34,6 +34,23 @@ bool AllAssigned(const LabeledGraph& g, const PartitionAssignment& a) {
   return true;
 }
 
+double MigrationFraction(const PartitionAssignment& prev,
+                         const PartitionAssignment& next) {
+  size_t comparable = 0;
+  size_t moved = 0;
+  const size_t bound = std::min(prev.IdBound(), next.IdBound());
+  for (VertexId v = 0; v < bound; ++v) {
+    const int32_t np = next.PartOf(v);
+    if (np < 0) continue;
+    const int32_t pp = prev.PartOf(v);
+    if (pp < 0) continue;
+    ++comparable;
+    if (np != pp) ++moved;
+  }
+  if (comparable == 0) return 0.0;
+  return static_cast<double>(moved) / static_cast<double>(comparable);
+}
+
 std::string SizesToString(const PartitionAssignment& a) {
   std::string out;
   for (size_t i = 0; i < a.Sizes().size(); ++i) {

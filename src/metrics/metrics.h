@@ -27,6 +27,13 @@ double BalanceMaxOverAvg(const PartitionAssignment& a);
 /// True iff every vertex of `g` is assigned.
 bool AllAssigned(const LabeledGraph& g, const PartitionAssignment& a);
 
+/// Restreaming migration cost: the fraction of vertices assigned in both
+/// `prev` and `next` whose partition changed between the two passes. Every
+/// migrated vertex is data moved between machines, so restreaming trades
+/// this against the edge-cut gain. Returns 0 when nothing is comparable.
+double MigrationFraction(const PartitionAssignment& prev,
+                         const PartitionAssignment& next);
+
 /// "12/13/11/14"-style partition-size string for result tables.
 std::string SizesToString(const PartitionAssignment& a);
 

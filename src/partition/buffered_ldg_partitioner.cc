@@ -1,7 +1,6 @@
 #include "partition/buffered_ldg_partitioner.h"
 
 #include <algorithm>
-#include <cassert>
 
 namespace loom {
 
@@ -10,7 +9,9 @@ void BufferedLdgPartitioner::OnVertex(VertexId v, Label label,
   if (window_.Full()) {
     AssignMember(window_.PopOldest());
   }
-  window_.Push(v, label, back_edges);
+  // Restream arrivals already carry the full neighbourhood; reverse
+  // recording would double every window-internal edge.
+  window_.Push(v, label, back_edges, /*record_reverse=*/!HasPrior());
 }
 
 void BufferedLdgPartitioner::Finish() {
@@ -19,17 +20,18 @@ void BufferedLdgPartitioner::Finish() {
   }
 }
 
+void BufferedLdgPartitioner::BeginPass(const PartitionAssignment* prior) {
+  StreamingPartitioner::BeginPass(prior);
+  window_ = StreamWindow(options_.window_size);
+}
+
 void BufferedLdgPartitioner::AssignMember(const WindowMember& member) {
   std::fill(edge_counts_.begin(), edge_counts_.end(), 0);
   for (const VertexId w : member.neighbors) {
-    const int32_t p = assignment_.PartOf(w);
+    const int32_t p = ScorePartOf(w);
     if (p >= 0) ++edge_counts_[static_cast<uint32_t>(p)];
   }
-  const uint32_t part = PickLdgPartition(assignment_, edge_counts_);
-  assert(part < assignment_.k() && "all partitions full");
-  const Status s = assignment_.Assign(member.id, part);
-  assert(s.ok());
-  (void)s;
+  AssignOrFallback(member.id, PickLdgPartition(assignment_, edge_counts_));
 }
 
 }  // namespace loom

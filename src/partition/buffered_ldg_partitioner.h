@@ -25,6 +25,10 @@ class BufferedLdgPartitioner : public StreamingPartitioner {
 
   void Finish() override;
 
+  /// Restream hook: also discards any still-buffered window members, so a
+  /// partitioner abandoned mid-stream starts the pass clean.
+  void BeginPass(const PartitionAssignment* prior) override;
+
   std::string Name() const override { return "ldg-buffered"; }
 
  private:

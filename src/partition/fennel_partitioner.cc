@@ -1,7 +1,6 @@
 #include "partition/fennel_partitioner.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 namespace loom {
@@ -18,7 +17,7 @@ void FennelPartitioner::OnVertex(VertexId v, Label /*label*/,
                                  const std::vector<VertexId>& back_edges) {
   std::fill(edge_counts_.begin(), edge_counts_.end(), 0);
   for (const VertexId w : back_edges) {
-    const int32_t p = assignment_.PartOf(w);
+    const int32_t p = ScorePartOf(w);
     if (p >= 0) ++edge_counts_[static_cast<uint32_t>(p)];
   }
 
@@ -38,10 +37,7 @@ void FennelPartitioner::OnVertex(VertexId v, Label /*label*/,
       best_score = score;
     }
   }
-  assert(best < assignment_.k() && "all partitions full");
-  const Status s = assignment_.Assign(v, best);
-  assert(s.ok());
-  (void)s;
+  AssignOrFallback(v, best);
 }
 
 }  // namespace loom

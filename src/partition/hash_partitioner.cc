@@ -1,7 +1,5 @@
 #include "partition/hash_partitioner.h"
 
-#include <cassert>
-
 #include "common/hash.h"
 
 namespace loom {
@@ -9,18 +7,17 @@ namespace loom {
 void HashPartitioner::OnVertex(VertexId v, Label /*label*/,
                                const std::vector<VertexId>& /*back_edges*/) {
   const uint32_t k = assignment_.k();
-  uint32_t part = static_cast<uint32_t>(
+  const uint32_t home = static_cast<uint32_t>(
       MixBits(static_cast<uint64_t>(v) + options_.seed) % k);
+  uint32_t part = k;  // invalid: triggers the overflow fallback
   for (uint32_t probe = 0; probe < k; ++probe) {
-    const uint32_t candidate = (part + probe) % k;
+    const uint32_t candidate = (home + probe) % k;
     if (assignment_.FreeCapacity(candidate) >= 1) {
-      const Status s = assignment_.Assign(v, candidate);
-      assert(s.ok());
-      (void)s;
-      return;
+      part = candidate;
+      break;
     }
   }
-  assert(false && "all partitions full: capacity misconfigured");
+  AssignOrFallback(v, part);
 }
 
 }  // namespace loom

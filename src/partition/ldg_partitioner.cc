@@ -1,7 +1,6 @@
 #include "partition/ldg_partitioner.h"
 
 #include <algorithm>
-#include <cassert>
 
 namespace loom {
 
@@ -9,14 +8,10 @@ void LdgPartitioner::OnVertex(VertexId v, Label /*label*/,
                               const std::vector<VertexId>& back_edges) {
   std::fill(edge_counts_.begin(), edge_counts_.end(), 0);
   for (const VertexId w : back_edges) {
-    const int32_t p = assignment_.PartOf(w);
+    const int32_t p = ScorePartOf(w);
     if (p >= 0) ++edge_counts_[static_cast<uint32_t>(p)];
   }
-  const uint32_t part = PickLdgPartition(assignment_, edge_counts_);
-  assert(part < assignment_.k() && "all partitions full");
-  const Status s = assignment_.Assign(v, part);
-  assert(s.ok());
-  (void)s;
+  AssignOrFallback(v, PickLdgPartition(assignment_, edge_counts_));
 }
 
 }  // namespace loom

@@ -25,6 +25,13 @@ class PartitionAssignment {
   /// or a full partition.
   Status Assign(VertexId v, uint32_t part);
 
+  /// Assigns `v` to `part` even when the partition is at capacity — the
+  /// overflow escape hatch for streams that exceed k·C vertices, where
+  /// dropping the vertex would be worse than stretching the bound. Still
+  /// fails on double assignment or a bad partition index; placements past C
+  /// are counted in NumOverflowed().
+  Status ForceAssign(VertexId v, uint32_t part);
+
   /// Partition of `v`, or -1 while unassigned (or unknown id).
   int32_t PartOf(VertexId v) const;
 
@@ -46,12 +53,24 @@ class PartitionAssignment {
   /// ties).
   uint32_t SmallestPartition() const;
 
+  /// Index of the partition with the most free capacity; ties prefer the
+  /// smaller partition, then the lower index. The canonical overflow
+  /// fallback target when a placement heuristic finds no eligible partition.
+  uint32_t MostFreePartition() const;
+
+  /// One past the largest vertex id ever assigned; bound for PartOf scans.
+  size_t IdBound() const { return part_of_.size(); }
+
+  /// Vertices placed past the capacity bound C via ForceAssign.
+  size_t NumOverflowed() const { return num_overflowed_; }
+
  private:
   uint32_t k_;
   size_t capacity_;
   std::vector<int32_t> part_of_;
   std::vector<uint32_t> sizes_;
   size_t num_assigned_ = 0;
+  size_t num_overflowed_ = 0;
 };
 
 }  // namespace loom

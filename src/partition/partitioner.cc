@@ -1,5 +1,6 @@
 #include "partition/partitioner.h"
 
+#include <cassert>
 #include <cmath>
 
 namespace loom {
@@ -17,6 +18,48 @@ void StreamingPartitioner::Run(const GraphStream& stream) {
     OnVertex(arrival.vertex, arrival.label, arrival.back_edges);
   }
   Finish();
+}
+
+void StreamingPartitioner::BeginPass(const PartitionAssignment* prior) {
+  assert(prior != &assignment_ && "prior must not alias the live assignment");
+  assert((prior == nullptr || prior->k() == options_.k) &&
+         "prior partition count must match the partitioner's k");
+  // A prior with a different k would leak partition indices >= k into the
+  // scoring scratch arrays; ignore it rather than corrupt memory in Release.
+  if (prior != nullptr && prior->k() != options_.k) prior = nullptr;
+  assignment_ = PartitionAssignment(
+      options_.k, ComputeCapacity(options_.k, options_.num_vertices_hint,
+                                  options_.capacity_slack));
+  stats_ = PartitionerStats();
+  prior_ = prior;
+}
+
+void StreamingPartitioner::AssignOrFallback(VertexId v, uint32_t part) {
+  if (part < assignment_.k()) {
+    const Status s = assignment_.Assign(v, part);
+    if (s.ok()) return;
+    if (s.code() != StatusCode::kCapacityExceeded) {
+      ++stats_.assign_errors;
+      assert(false && "non-capacity Assign error in streaming partitioner");
+      return;
+    }
+  }
+  // No eligible partition (or the chosen one filled up between scoring and
+  // assignment): most free capacity wins, least loaded on ties.
+  ++stats_.overflow_fallbacks;
+  const uint32_t fallback = assignment_.MostFreePartition();
+  Status s = assignment_.Assign(v, fallback);
+  if (s.ok()) return;
+  if (s.code() == StatusCode::kCapacityExceeded) {
+    // Every partition is at C: the stream exceeds k*C vertices. Stretch the
+    // bound rather than dropping the vertex.
+    ++stats_.forced_placements;
+    s = assignment_.ForceAssign(v, fallback);
+  }
+  if (!s.ok()) {
+    ++stats_.assign_errors;
+    assert(false && "unrecoverable Assign error in streaming partitioner");
+  }
 }
 
 uint32_t PickLdgPartition(const PartitionAssignment& assignment,

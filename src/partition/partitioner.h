@@ -35,6 +35,24 @@ struct PartitionerOptions {
 /// The capacity constraint C = ceil(slack * n / k), at least 1.
 size_t ComputeCapacity(uint32_t k, size_t num_vertices, double slack);
 
+/// Counters for the capacity-overflow fallback shared by every streaming
+/// partitioner: when the placement heuristic finds no eligible partition the
+/// vertex is re-routed to the partition with the most free capacity — past
+/// the capacity bound C only once every partition is full — instead of being
+/// dropped (the pre-fix behaviour under NDEBUG) or asserted on (Debug).
+struct PartitionerStats {
+  /// Placements where the heuristic found no partition with room and the
+  /// vertex fell back to the most-free partition.
+  uint64_t overflow_fallbacks = 0;
+  /// Fallback placements forced past C because every partition was full;
+  /// only possible when the stream carries more than k·C vertices.
+  uint64_t forced_placements = 0;
+  /// Assign() failures that were not capacity-related (double assignment,
+  /// bad index). Always a partitioner logic error; surfaced here so Release
+  /// builds report it instead of silently discarding the Status.
+  uint64_t assign_errors = 0;
+};
+
 /// Base class for streaming partitioners.
 class StreamingPartitioner {
  public:
@@ -62,12 +80,47 @@ class StreamingPartitioner {
   /// Feeds the whole stream and finishes.
   void Run(const GraphStream& stream);
 
+  /// Restreaming hook (ReLDG/ReFennel semantics): discards this partitioner's
+  /// assignment and stats, and installs `prior` — the previous pass's
+  /// assignment — as the scoring prior for the next pass. Until a vertex is
+  /// re-assigned this pass, ScorePartOf reports its prior-pass partition, so
+  /// placement scores incorporate last pass's neighbourhoods while balance is
+  /// accounted against this pass's placements only. Pass nullptr to reset to
+  /// single-pass behaviour. `prior` must outlive the pass and must not alias
+  /// this partitioner's own assignment (copy it first).
+  virtual void BeginPass(const PartitionAssignment* prior);
+
   const PartitionAssignment& assignment() const { return assignment_; }
   const PartitionerOptions& options() const { return options_; }
+  const PartitionerStats& stats() const { return stats_; }
+
+  /// True while a restream pass (BeginPass with a non-null prior) is active.
+  bool HasPrior() const { return prior_ != nullptr; }
+
+  /// Drops the restream prior without touching the current assignment (for
+  /// drivers whose prior storage goes out of scope after the run).
+  void ClearPrior() { prior_ = nullptr; }
 
  protected:
+  /// Partition of `w` as seen by placement scores: this pass's placement
+  /// when present, else the prior pass's, else -1.
+  int32_t ScorePartOf(VertexId w) const {
+    const int32_t p = assignment_.PartOf(w);
+    if (p >= 0) return p;
+    return prior_ != nullptr ? prior_->PartOf(w) : -1;
+  }
+
+  /// Assigns `v` to `part` when valid; otherwise (no eligible partition, or
+  /// the chosen one is full) falls back to the partition with the most free
+  /// capacity, forcing placement past C as a last resort. Never drops a
+  /// vertex; every fallback is counted in stats().
+  void AssignOrFallback(VertexId v, uint32_t part);
+
   PartitionerOptions options_;
   PartitionAssignment assignment_;
+  PartitionerStats stats_;
+  /// Previous restream pass's assignment (not owned); null in pass one.
+  const PartitionAssignment* prior_ = nullptr;
 };
 
 /// Shared LDG placement rule (§4.1): pick argmax_i |edges_i| * (1 - |Vi|/C)

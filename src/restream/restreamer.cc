@@ -1,0 +1,155 @@
+#include "restream/restreamer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/timer.h"
+
+namespace loom {
+
+std::string RestreamOrderName(RestreamOrder order) {
+  switch (order) {
+    case RestreamOrder::kOriginal:
+      return "original";
+    case RestreamOrder::kRandom:
+      return "random";
+    case RestreamOrder::kGain:
+      return "gain";
+    case RestreamOrder::kAmbivalence:
+      return "ambivalence";
+  }
+  return "unknown";
+}
+
+Restreamer::Restreamer(const GraphStream& stream,
+                       const RestreamOptions& options)
+    : stream_(stream), graph_(GraphFromStream(stream)), options_(options) {}
+
+std::vector<VertexId> Restreamer::PassOrder(RestreamOrder order,
+                                            const PartitionAssignment& prior,
+                                            Rng& rng) const {
+  std::vector<VertexId> perm;
+  perm.reserve(stream_.NumVertices());
+  for (const VertexArrival& a : stream_.arrivals()) perm.push_back(a.vertex);
+
+  switch (order) {
+    case RestreamOrder::kOriginal:
+      return perm;
+    case RestreamOrder::kRandom:
+      rng.Shuffle(&perm);
+      return perm;
+    case RestreamOrder::kGain:
+    case RestreamOrder::kAmbivalence:
+      break;
+  }
+
+  // Prioritized restreaming: gain(v) = edges to v's prior partition minus
+  // edges to its best alternative, over the full (known) neighbourhood.
+  const uint32_t k = prior.k();
+  std::vector<double> key(graph_.NumVertices(), 0.0);
+  std::vector<uint32_t> counts(k, 0);
+  for (VertexId v = 0; v < graph_.NumVertices(); ++v) {
+    std::fill(counts.begin(), counts.end(), 0);
+    for (const VertexId w : graph_.Neighbors(v)) {
+      const int32_t p = prior.PartOf(w);
+      if (p >= 0) ++counts[static_cast<uint32_t>(p)];
+    }
+    const int32_t home = prior.PartOf(v);
+    uint32_t stay = 0;
+    uint32_t best_other = 0;
+    for (uint32_t p = 0; p < k; ++p) {
+      if (static_cast<int32_t>(p) == home) {
+        stay = counts[p];
+      } else {
+        best_other = std::max(best_other, counts[p]);
+      }
+    }
+    const double gain =
+        static_cast<double>(stay) - static_cast<double>(best_other);
+    // Sort key ascending: descending gain, or ascending ambivalence.
+    key[v] = order == RestreamOrder::kGain ? -gain : std::fabs(gain);
+  }
+  std::stable_sort(perm.begin(), perm.end(), [&key](VertexId a, VertexId b) {
+    if (key[a] != key[b]) return key[a] < key[b];
+    return a < b;
+  });
+  return perm;
+}
+
+GraphStream Restreamer::ReplayStream(RestreamOrder order,
+                                     const PartitionAssignment& prior,
+                                     Rng& rng) const {
+  const std::vector<VertexId> perm = PassOrder(order, prior, rng);
+  std::vector<VertexArrival> arrivals;
+  arrivals.reserve(perm.size());
+  for (const VertexId v : perm) {
+    VertexArrival a;
+    a.vertex = v;
+    a.label = graph_.LabelOf(v);
+    // Restream passes know the whole graph: the arrival carries the full
+    // neighbourhood, and scores fall through to the prior for neighbours
+    // not yet re-assigned this pass.
+    a.back_edges = graph_.Neighbors(v);
+    arrivals.push_back(std::move(a));
+  }
+  return GraphStream(std::move(arrivals));
+}
+
+RestreamResult Restreamer::Run(StreamingPartitioner* partitioner) const {
+  Rng rng(options_.seed);
+  RestreamResult result;
+
+  PartitionAssignment prior{1, 0};
+  PartitionAssignment best{1, 0};
+  double best_cut = std::numeric_limits<double>::infinity();
+
+  const uint32_t passes = std::max<uint32_t>(1, options_.num_passes);
+  for (uint32_t pass = 1; pass <= passes; ++pass) {
+    GraphStream replay;
+    const GraphStream* current = &stream_;
+    if (pass == 1) {
+      partitioner->BeginPass(nullptr);
+    } else {
+      replay = ReplayStream(options_.order, prior, rng);
+      current = &replay;
+      partitioner->BeginPass(&prior);
+    }
+
+    WallTimer timer;
+    partitioner->Run(*current);
+
+    RestreamPassStats s;
+    s.pass = pass;
+    s.seconds = timer.ElapsedSeconds();
+    s.edge_cut_fraction = EdgeCutFraction(graph_, partitioner->assignment());
+    s.balance = BalanceMaxOverAvg(partitioner->assignment());
+    s.migration_fraction =
+        pass == 1 ? 0.0 : MigrationFraction(prior, partitioner->assignment());
+    s.overflow_fallbacks = partitioner->stats().overflow_fallbacks;
+    s.forced_placements = partitioner->stats().forced_placements;
+
+    if (s.edge_cut_fraction <= best_cut) {
+      best_cut = s.edge_cut_fraction;
+      best = partitioner->assignment();
+    }
+    s.best_edge_cut_fraction = best_cut;
+    result.passes.push_back(s);
+
+    prior = options_.keep_best ? best : partitioner->assignment();
+  }
+  // `prior` dies with this call; the partitioner must not keep pointing
+  // at it.
+  partitioner->ClearPrior();
+
+  if (options_.keep_best) {
+    result.assignment = best;
+    result.edge_cut_fraction = best_cut;
+  } else {
+    result.assignment = partitioner->assignment();
+    result.edge_cut_fraction = result.passes.back().edge_cut_fraction;
+  }
+  return result;
+}
+
+}  // namespace loom

@@ -180,4 +180,26 @@ GraphStream MakeStreamFromOrder(const LabeledGraph& g,
   return GraphStream(std::move(arrivals));
 }
 
+LabeledGraph GraphFromStream(const GraphStream& stream) {
+  VertexId max_id = 0;
+  bool any = false;
+  for (const VertexArrival& a : stream.arrivals()) {
+    max_id = std::max(max_id, a.vertex);
+    for (const VertexId w : a.back_edges) max_id = std::max(max_id, w);
+    any = true;
+  }
+  LabeledGraph g;
+  if (!any) return g;
+  for (VertexId v = 0; v <= max_id; ++v) g.AddVertex(0);
+  for (const VertexArrival& a : stream.arrivals()) {
+    g.SetLabel(a.vertex, a.label);
+    for (const VertexId w : a.back_edges) {
+      const Status s = g.AddEdge(a.vertex, w);
+      // Duplicates (full-neighbourhood streams) are tolerated, kept once.
+      (void)s;
+    }
+  }
+  return g;
+}
+
 }  // namespace loom

@@ -8,7 +8,8 @@ StreamWindow::StreamWindow(size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
 void StreamWindow::Push(VertexId v, Label label,
-                        const std::vector<VertexId>& back_edges) {
+                        const std::vector<VertexId>& back_edges,
+                        bool record_reverse) {
   assert(!Full() && "Push on a full window; evict first");
   assert(!Contains(v));
   WindowMember member;
@@ -17,9 +18,11 @@ void StreamWindow::Push(VertexId v, Label label,
   member.arrival_seq = next_seq_++;
   member.neighbors = back_edges;
   // Back edges into the window are symmetric: tell the buffered neighbour.
-  for (const VertexId w : back_edges) {
-    const auto it = members_.find(w);
-    if (it != members_.end()) it->second.neighbors.push_back(v);
+  if (record_reverse) {
+    for (const VertexId w : back_edges) {
+      const auto it = members_.find(w);
+      if (it != members_.end()) it->second.neighbors.push_back(v);
+    }
   }
   members_.emplace(v, std::move(member));
   age_queue_.push_back(v);

@@ -39,8 +39,12 @@ class StreamWindow {
   explicit StreamWindow(size_t capacity);
 
   /// Buffers an arriving vertex and records its back edges. Must not be
-  /// called while `Full()`.
-  void Push(VertexId v, Label label, const std::vector<VertexId>& back_edges);
+  /// called while `Full()`. `record_reverse` controls whether the edge is
+  /// also appended to buffered neighbours' lists: pass false when arrivals
+  /// already carry the complete neighbourhood (restream passes ≥ 2), where
+  /// the reverse record would duplicate every window-internal edge.
+  void Push(VertexId v, Label label, const std::vector<VertexId>& back_edges,
+            bool record_reverse = true);
 
   bool Full() const { return members_.size() >= capacity_; }
   bool Empty() const { return members_.empty(); }

@@ -202,7 +202,7 @@ TEST_F(BenchDriverTest, EdgeCutJsonIsValidWithExpectedKeys) {
   const std::string text = ReadFileOrDie(*out_dir_ + "/BENCH_edge_cut.json");
   ASSERT_FALSE(text.empty());
   EXPECT_TRUE(JsonChecker(text).Valid()) << text;
-  EXPECT_NE(text.find("\"schema\": \"loom-bench-edge-cut-v1\""),
+  EXPECT_NE(text.find("\"schema\": \"loom-bench-edge-cut-v2\""),
             std::string::npos);
   for (const char* key :
        {"\"edge_cut_fraction\"", "\"balance\"", "\"vertices_per_second\"",
@@ -213,6 +213,19 @@ TEST_F(BenchDriverTest, EdgeCutJsonIsValidWithExpectedKeys) {
   // plus the offline baseline.
   for (const char* p : {"\"hash\"", "\"ldg\"", "\"fennel\"", "\"loom\""}) {
     EXPECT_NE(text.find(p), std::string::npos) << "missing partitioner " << p;
+  }
+}
+
+TEST_F(BenchDriverTest, EdgeCutJsonHasRestreamSection) {
+  const std::string text = ReadFileOrDie(*out_dir_ + "/BENCH_edge_cut.json");
+  ASSERT_FALSE(text.empty());
+  EXPECT_NE(text.find("\"restream\": ["), std::string::npos)
+      << "missing restream section";
+  for (const char* key :
+       {"\"pass\"", "\"ordering\"", "\"best_edge_cut_fraction\"",
+        "\"migration_fraction\"", "\"overflow_fallbacks\""}) {
+    EXPECT_NE(text.find(key), std::string::npos)
+        << "missing restream key " << key;
   }
 }
 

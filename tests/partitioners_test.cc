@@ -208,5 +208,61 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(StreamOrder::kRandom, StreamOrder::kBfs,
                           StreamOrder::kAdversarial)));
 
+// ---------------------------------------------------------------------------
+// Capacity exhaustion. The seed code guarded the "all partitions full" path
+// with a bare assert and discarded the Assign status, silently dropping
+// vertices under NDEBUG; these suites pin the repaired contract: every
+// streamed vertex is assigned in every build mode, the fallback is the
+// most-free partition, and overflow is visible in stats() instead of fatal.
+// ---------------------------------------------------------------------------
+
+class CapacityExhaustion
+    : public ::testing::TestWithParam<std::tuple<Kind, uint32_t>> {};
+
+TEST_P(CapacityExhaustion, TightCapacityAssignsEveryVertex) {
+  // n == k*C exactly (slack 1.0): the heuristics must fill to the brim
+  // without ever needing a forced placement.
+  const auto [kind, k] = GetParam();
+  Rng rng(31);
+  const uint32_t n = 24 * k;
+  const LabeledGraph g = ErdosRenyiGnm(n, 3 * n, LabelConfig{2, 0.0}, rng);
+  const GraphStream stream = MakeStream(g, StreamOrder::kRandom, rng);
+  auto p = Make(kind, Opts(k, n, g.NumEdges(), /*slack=*/1.0));
+  p->Run(stream);
+  EXPECT_EQ(p->assignment().NumAssigned(), n);
+  EXPECT_TRUE(AllAssigned(g, p->assignment()));
+  EXPECT_EQ(p->stats().forced_placements, 0u);
+  EXPECT_EQ(p->stats().assign_errors, 0u);
+  for (const uint32_t size : p->assignment().Sizes()) EXPECT_EQ(size, 24u);
+}
+
+TEST_P(CapacityExhaustion, OverfullStreamNeverDropsVertices) {
+  // The stream carries twice the hinted vertex count, so k*C < n: the seed
+  // code dropped the excess under NDEBUG (and assert-crashed in Debug).
+  const auto [kind, k] = GetParam();
+  Rng rng(32);
+  const uint32_t n = 40 * k;
+  const LabeledGraph g = ErdosRenyiGnm(n, 3 * n, LabelConfig{2, 0.0}, rng);
+  const GraphStream stream = MakeStream(g, StreamOrder::kRandom, rng);
+  auto p = Make(kind, Opts(k, n / 2, g.NumEdges(), /*slack=*/1.0));
+  const size_t cap = ComputeCapacity(k, n / 2, 1.0);
+  ASSERT_LT(cap * k, n);
+  p->Run(stream);
+  EXPECT_EQ(p->assignment().NumAssigned(), n);
+  EXPECT_TRUE(AllAssigned(g, p->assignment()));
+  EXPECT_EQ(p->stats().assign_errors, 0u);
+  // The overflow is reported, not silent...
+  EXPECT_GE(p->stats().forced_placements, n - cap * k);
+  EXPECT_EQ(p->assignment().NumOverflowed(), p->stats().forced_placements);
+  // ...and the least-loaded fallback keeps the excess evenly spread.
+  EXPECT_LE(BalanceMaxOverAvg(p->assignment()), 1.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CapacityExhaustion,
+    ::testing::Combine(::testing::Values(Kind::kHash, Kind::kLdg,
+                                         Kind::kFennel, Kind::kBufferedLdg),
+                       ::testing::Values(2u, 4u, 8u)));
+
 }  // namespace
 }  // namespace loom

@@ -128,6 +128,60 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(4u, 64u, 512u), ::testing::Values(2u, 8u)));
 
 // ---------------------------------------------------------------------------
+// Capacity exhaustion under LOOM's cluster paths. The stream carries twice
+// the hinted vertex count, so every partition fills mid-stream and cluster
+// assignment, connectivity-aware splitting and single-vertex eviction all
+// hit the overflow fallback. The seed code assert-crashed here in Debug and
+// silently dropped vertices under NDEBUG; the repaired contract is complete
+// assignment with the overflow reported in stats.
+// ---------------------------------------------------------------------------
+
+class LoomCapacityExhaustion
+    : public ::testing::TestWithParam<
+          std::tuple<StreamOrder, size_t, uint32_t>> {};
+
+TEST_P(LoomCapacityExhaustion, OverfullStreamNeverDropsVertices) {
+  const auto [order, window, k] = GetParam();
+  Rng rng(17);
+  LabeledGraph g = BarabasiAlbert(600, 3, LabelConfig{3, 0.2}, rng);
+  PlantMotifs(&g, TriangleQuery(0, 1, 2), 30, rng, /*locality_span=*/16);
+  const GraphStream stream = MakeStream(g, order, rng);
+
+  Workload w;
+  ASSERT_TRUE(w.Add("tri", TriangleQuery(0, 1, 2), 1.0).ok());
+  ASSERT_TRUE(w.Add("ab", PathQuery({0, 1}), 1.0).ok());
+  w.Normalize();
+
+  LoomOptions o;
+  o.partitioner.k = k;
+  o.partitioner.num_vertices_hint = g.NumVertices() / 2;  // k*C < n
+  o.partitioner.capacity_slack = 1.0;
+  o.partitioner.window_size = window;
+  o.matcher.frequency_threshold = 0.4;
+  auto loom = Loom::Create(w, o);
+  ASSERT_TRUE(loom.ok());
+  (*loom)->Partitioner().Run(stream);
+
+  const auto& a = (*loom)->Partitioner().assignment();
+  const size_t cap = ComputeCapacity(k, g.NumVertices() / 2, 1.0);
+  ASSERT_LT(cap * k, g.NumVertices());
+  EXPECT_EQ(a.NumAssigned(), g.NumVertices());
+  EXPECT_TRUE(AllAssigned(g, a));
+  const auto& pstats = (*loom)->Partitioner().stats();
+  EXPECT_EQ(pstats.assign_errors, 0u);
+  EXPECT_GE(pstats.forced_placements, g.NumVertices() - cap * k);
+  const LoomStats& stats = (*loom)->Partitioner().loom_stats();
+  EXPECT_EQ(stats.cluster_vertices + stats.single_vertices, g.NumVertices());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LoomCapacityExhaustion,
+    ::testing::Combine(
+        ::testing::Values(StreamOrder::kRandom, StreamOrder::kStochastic,
+                          StreamOrder::kNatural),
+        ::testing::Values(4u, 64u, 256u), ::testing::Values(2u, 8u)));
+
+// ---------------------------------------------------------------------------
 // Signature soundness at scale: streamed growth never loses divisibility.
 // For random streams, every tracked sub-graph's signature must equal the
 // batch signature of its edge set.

@@ -27,6 +27,7 @@
 #include "motif/signature.h"
 #include "partition/hash_partitioner.h"
 #include "partition/ldg_partitioner.h"
+#include "restream/restreamer.h"
 #include "stream/window.h"
 #include "workload/query_builders.h"
 
@@ -125,6 +126,60 @@ struct EdgeCutConfig {
   std::vector<GraphKind> kinds;
 };
 
+// Multi-pass restreaming rows: for ldg, fennel and loom, three gain-ordered
+// passes per graph family, each row one pass with its raw cut, the anytime
+// best cut, balance, migration cost and overflow counters. Later PRs (and
+// the restream ctest suite) regress against the monotone best-cut contract.
+bool RunRestreamRows(const EdgeCutConfig& cfg, const Workload& workload,
+                     std::vector<JsonObject>* rows) {
+  for (const GraphKind kind : cfg.kinds) {
+    Rng rng(cfg.seed + 1);
+    LabeledGraph g = MakeGraph(kind, cfg.n, cfg.avg_degree,
+                               LabelConfig{4, 0.3}, rng);
+    const GraphStream stream = MakeStream(g, StreamOrder::kRandom, rng);
+
+    PartitionerOptions popts;
+    popts.k = cfg.k;
+    popts.num_vertices_hint = g.NumVertices();
+    popts.num_edges_hint = g.NumEdges();
+
+    PartitionerSet set = MakeStandardSet(popts, workload, 0.3);
+    RestreamOptions ropts;
+    ropts.num_passes = 3;
+    ropts.order = RestreamOrder::kGain;
+    const Restreamer restreamer(stream, ropts);
+    for (StreamingPartitioner* p : set.All()) {
+      const std::string name = p->Name();
+      if (name != "ldg" && name != "fennel" && name != "loom") continue;
+      const RestreamResult r = restreamer.Run(p);
+      for (const RestreamPassStats& s : r.passes) {
+        if (s.forced_placements != 0) {
+          std::cerr << "run_benchmarks: restream pass forced placements past "
+                       "capacity (" << name << ")\n";
+          return false;
+        }
+        JsonObject row;
+        row.Add("graph", GraphKindName(kind));
+        row.Add("partitioner", name);
+        row.Add("pass", static_cast<uint64_t>(s.pass));
+        row.Add("ordering", RestreamOrderName(ropts.order));
+        row.Add("edge_cut_fraction", s.edge_cut_fraction);
+        row.Add("best_edge_cut_fraction", s.best_edge_cut_fraction);
+        row.Add("balance", s.balance);
+        row.Add("migration_fraction", s.migration_fraction);
+        row.Add("overflow_fallbacks", s.overflow_fallbacks);
+        row.Add("seconds", s.seconds);
+        rows->push_back(std::move(row));
+      }
+    }
+  }
+  if (rows->empty()) {
+    std::cerr << "run_benchmarks: restream section produced no rows\n";
+    return false;
+  }
+  return true;
+}
+
 bool RunEdgeCutSection(const EdgeCutConfig& cfg, const std::string& mode,
                        const std::string& path) {
   WorkloadGenOptions wopts;
@@ -171,6 +226,9 @@ bool RunEdgeCutSection(const EdgeCutConfig& cfg, const std::string& mode,
     return false;
   }
 
+  std::vector<JsonObject> restream_rows;
+  if (!RunRestreamRows(cfg, workload, &restream_rows)) return false;
+
   JsonObject config;
   config.Add("n", static_cast<uint64_t>(cfg.n));
   config.Add("k", static_cast<uint64_t>(cfg.k));
@@ -178,10 +236,11 @@ bool RunEdgeCutSection(const EdgeCutConfig& cfg, const std::string& mode,
   config.Add("seed", cfg.seed);
 
   JsonObject root;
-  root.Add("schema", std::string("loom-bench-edge-cut-v1"));
+  root.Add("schema", std::string("loom-bench-edge-cut-v2"));
   root.Add("mode", mode);
   root.AddRaw("config", config.Render(2));
   root.AddRaw("results", RenderArray(rows, 2));
+  root.AddRaw("restream", RenderArray(restream_rows, 2));
   return WriteFile(path, root.Render(0));
 }
 
