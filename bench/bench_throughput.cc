@@ -1,0 +1,89 @@
+// bench_throughput: end-to-end streaming throughput of the LOOM pipeline.
+//
+// Streams a motif-planted graph of every bench family through the FULL
+// pipeline — window, matcher, cluster scoring, assignment — plus the hash
+// and ldg reference heuristics, and reports vertices/s and edges/s per
+// (family × partitioner). This is the repo's headline throughput number.
+//
+// Usage:
+//   bench_throughput [--fast|--full] [--out DIR]
+//
+// --fast (default) runs the two fast families in a few seconds; --full runs
+// all four at paper scale. With --out DIR the run also refreshes
+// DIR/BENCH_micro.json (schema v2: micro `results` + `throughput` section),
+// which is what the CI perf-smoke step executes and validates.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "perf_report.h"
+
+namespace loom {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  bool fast = true;
+  std::string out_dir;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fast") {
+      fast = true;
+    } else if (arg == "--full") {
+      fast = false;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "Usage: bench_throughput [--fast|--full] [--out DIR]\n";
+      return 0;
+    } else {
+      std::cerr << "bench_throughput: unknown argument '" << arg << "'\n";
+      return 2;
+    }
+  }
+  const std::string mode = fast ? "fast" : "full";
+
+  std::cout << "bench_throughput: end-to-end pipeline (" << mode << ")\n\n";
+  const std::vector<ThroughputRow> rows = RunThroughput(fast);
+  if (rows.empty()) {
+    std::cerr << "bench_throughput: no rows produced\n";
+    return 1;
+  }
+
+  std::printf("%-18s %-8s %10s %10s %12s %12s\n", "family", "part", "vertices",
+              "edges", "vertices/s", "edges/s");
+  for (const ThroughputRow& r : rows) {
+    std::printf("%-18s %-8s %10llu %10llu %12.0f %12.0f\n", r.family.c_str(),
+                r.partitioner.c_str(),
+                static_cast<unsigned long long>(r.num_vertices),
+                static_cast<unsigned long long>(r.num_edges),
+                r.vertices_per_second, r.edges_per_second);
+  }
+
+  if (!out_dir.empty()) {
+    // The JSON pairs the throughput section with freshly-run micro loops so
+    // the file is always internally consistent (schema v2 has both).
+    const std::vector<MicroResult> micro = RunMicroLoops(fast);
+    const std::string path = out_dir + "/BENCH_micro.json";
+    const std::string tmp = path + ".tmp";
+    if (!WriteMicroReport(tmp, mode, micro, rows)) {
+      std::remove(tmp.c_str());
+      return 1;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::cerr << "bench_throughput: failed to move " << path
+                << " into place\n";
+      std::remove(tmp.c_str());
+      return 1;
+    }
+    std::cout << "\n  wrote " << path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace loom
+
+int main(int argc, char** argv) { return loom::bench::Main(argc, argv); }

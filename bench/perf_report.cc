@@ -1,0 +1,332 @@
+#include "perf_report.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "common/timer.h"
+#include "motif/canonical.h"
+#include "motif/signature.h"
+#include "partition/hash_partitioner.h"
+#include "partition/ldg_partitioner.h"
+#include "stream/window.h"
+#include "workload/query_builders.h"
+
+namespace loom {
+namespace bench {
+
+// ----------------------------------------------------------------- JSON
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string JsonNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+void JsonObject::Add(const std::string& key, const std::string& value) {
+  fields.push_back("\"" + JsonEscape(key) + "\": \"" + JsonEscape(value) +
+                   "\"");
+}
+void JsonObject::Add(const std::string& key, double value) {
+  fields.push_back("\"" + JsonEscape(key) + "\": " + JsonNumber(value));
+}
+void JsonObject::Add(const std::string& key, uint64_t value) {
+  fields.push_back("\"" + JsonEscape(key) + "\": " + std::to_string(value));
+}
+void JsonObject::AddRaw(const std::string& key, const std::string& raw) {
+  fields.push_back("\"" + JsonEscape(key) + "\": " + raw);
+}
+
+std::string JsonObject::Render(int indent) const {
+  const std::string pad(indent, ' ');
+  std::string out = "{\n";
+  for (size_t i = 0; i < fields.size(); ++i) {
+    out += pad + "  " + fields[i];
+    if (i + 1 < fields.size()) out += ",";
+    out += "\n";
+  }
+  out += pad + "}";
+  return out;
+}
+
+std::string RenderArray(const std::vector<JsonObject>& items, int indent) {
+  const std::string pad(indent, ' ');
+  std::string out = "[\n";
+  for (size_t i = 0; i < items.size(); ++i) {
+    out += pad + "  " + items[i].Render(indent + 2);
+    if (i + 1 < items.size()) out += ",";
+    out += "\n";
+  }
+  out += pad + "]";
+  return out;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) {
+    std::cerr << "perf_report: cannot open " << path << " for writing\n";
+    return false;
+  }
+  f << content << "\n";
+  return f.good();
+}
+
+// ----------------------------------------------------------------- micro
+
+namespace {
+
+template <typename Fn>
+MicroResult TimeLoop(const std::string& name, uint64_t iterations,
+                     uint64_t items_per_iteration, Fn&& fn) {
+  MicroResult r;
+  r.name = name;
+  r.iterations = iterations;
+  r.items = iterations * items_per_iteration;
+  WallTimer timer;
+  for (uint64_t i = 0; i < iterations; ++i) fn();
+  r.seconds = timer.ElapsedSeconds();
+  return r;
+}
+
+}  // namespace
+
+std::vector<MicroResult> RunMicroLoops(bool fast) {
+  std::vector<MicroResult> out;
+
+  {
+    const SignatureScheme scheme(8);
+    GraphSignature sig;
+    Label a = 0;
+    out.push_back(TimeLoop("signature_multiply_edge",
+                           fast ? 200000 : 2000000, 1, [&] {
+                             scheme.MultiplyEdge(&sig, a, (a + 3) % 8);
+                             a = (a + 1) % 8;
+                             if (sig.NumFactors() > 64) sig = GraphSignature();
+                           }));
+  }
+
+  {
+    const SignatureScheme scheme(4);
+    const GraphSignature small = scheme.SignatureOf(PaperQ2());
+    const GraphSignature big = scheme.SignatureOf(PaperFigure1Graph());
+    volatile bool sink = false;
+    out.push_back(TimeLoop("signature_divides", fast ? 100000 : 1000000, 1,
+                           [&] { sink = small.Divides(big); }));
+    (void)sink;
+  }
+
+  {
+    const LabeledGraph q = PaperQ1();
+    out.push_back(TimeLoop("canonical_form_small_motif", fast ? 5000 : 50000,
+                           1, [&] {
+                             auto c = CanonicalForm(q);
+                             (void)c;
+                           }));
+  }
+
+  {
+    const Workload w = PaperFigure1Workload();
+    auto trie = BuildTrie(w);
+    const GraphSignature sig = (*trie)->scheme().SignatureOf(PaperQ2());
+    out.push_back(TimeLoop("trie_signature_lookup", fast ? 100000 : 1000000,
+                           1, [&] {
+                             auto hits = (*trie)->FindBySignature(sig);
+                             (void)hits;
+                           }));
+  }
+
+  {
+    const uint32_t n = fast ? 5000 : 20000;
+    Rng rng(1);
+    const LabeledGraph g = BarabasiAlbert(n, 4, LabelConfig{4, 0.0}, rng);
+    const GraphStream stream = MakeStream(g, StreamOrder::kRandom, rng);
+    const uint64_t reps = fast ? 3 : 10;
+    out.push_back(TimeLoop("ldg_placement", reps, g.NumVertices(), [&] {
+      PartitionerOptions o;
+      o.k = 16;
+      o.num_vertices_hint = g.NumVertices();
+      LdgPartitioner p(o);
+      p.Run(stream);
+    }));
+    out.push_back(TimeLoop("hash_placement", reps, g.NumVertices(), [&] {
+      PartitionerOptions o;
+      o.k = 16;
+      o.num_vertices_hint = g.NumVertices();
+      HashPartitioner p(o);
+      p.Run(stream);
+    }));
+  }
+
+  {
+    const uint64_t churn = 4096;
+    out.push_back(TimeLoop("window_churn", fast ? 50 : 500, churn, [&] {
+      StreamWindow w(256);
+      for (VertexId v = 0; v < churn; ++v) {
+        if (w.Full()) w.PopOldest();
+        w.Push(v, v % 4,
+               v > 0 ? std::vector<VertexId>{v - 1} : std::vector<VertexId>{});
+      }
+    }));
+  }
+
+  return out;
+}
+
+// ------------------------------------------------------------ throughput
+
+std::vector<ThroughputRow> RunThroughput(bool fast) {
+  const uint32_t n = fast ? 4000 : 30000;
+  const uint32_t reps = fast ? 2 : 3;
+  std::vector<GraphKind> kinds = {GraphKind::kErdosRenyi,
+                                  GraphKind::kBarabasiAlbert};
+  if (!fast) {
+    kinds.push_back(GraphKind::kWattsStrogatz);
+    kinds.push_back(GraphKind::kRMat);
+  }
+
+  WorkloadGenOptions wopts;
+  wopts.num_queries = 4;
+  const Workload workload = MixedMotifWorkload(wopts);
+
+  std::vector<ThroughputRow> out;
+  for (const GraphKind kind : kinds) {
+    Rng rng(2024);
+    LabeledGraph g = MakeGraph(kind, n, /*avg_degree=*/8, LabelConfig{4, 0.3},
+                               rng);
+    PlantWorkloadMotifs(&g, workload, n / 24, rng, /*locality_span=*/32);
+    const GraphStream stream = MakeStream(g, StreamOrder::kRandom, rng);
+
+    PartitionerOptions popts;
+    popts.k = 8;
+    popts.num_vertices_hint = g.NumVertices();
+    popts.num_edges_hint = g.NumEdges();
+    popts.window_size = 256;
+
+    const auto time_run = [&](const std::string& name, auto&& make) {
+      ThroughputRow row;
+      row.family = GraphKindName(kind);
+      row.partitioner = name;
+      row.num_vertices = g.NumVertices();
+      row.num_edges = g.NumEdges();
+      WallTimer timer;
+      for (uint32_t r = 0; r < reps; ++r) make();
+      row.seconds = timer.ElapsedSeconds() / reps;
+      if (row.seconds > 0) {
+        row.vertices_per_second = static_cast<double>(row.num_vertices) /
+                                  row.seconds;
+        row.edges_per_second = static_cast<double>(row.num_edges) /
+                               row.seconds;
+      }
+      out.push_back(row);
+    };
+
+    LoomOptions lopts;
+    lopts.partitioner = popts;
+    lopts.matcher.frequency_threshold = 0.2;
+    // Probe creation once before timing: a failed Create must fail the whole
+    // section (empty result), never leave a bogus near-zero-seconds row that
+    // would report an absurd vertices/s as the headline number.
+    if (!Loom::Create(workload, lopts).ok()) {
+      std::cerr << "perf_report: loom creation failed; throughput section "
+                   "aborted\n";
+      return {};
+    }
+
+    time_run("hash", [&] {
+      HashPartitioner p(popts);
+      p.Run(stream);
+    });
+    time_run("ldg", [&] {
+      LdgPartitioner p(popts);
+      p.Run(stream);
+    });
+    time_run("loom", [&] {
+      auto loom = Loom::Create(workload, lopts);
+      (*loom)->Partitioner().Run(stream);
+    });
+  }
+  return out;
+}
+
+// ----------------------------------------------------------------- report
+
+bool WriteMicroReport(const std::string& path, const std::string& mode,
+                      const std::vector<MicroResult>& micro,
+                      const std::vector<ThroughputRow>& throughput) {
+  std::vector<JsonObject> rows;
+  for (const MicroResult& r : micro) {
+    if (r.iterations == 0 || r.seconds < 0) {
+      std::cerr << "perf_report: micro loop " << r.name << " is invalid\n";
+      return false;
+    }
+    JsonObject row;
+    row.Add("name", r.name);
+    row.Add("iterations", r.iterations);
+    row.Add("seconds", r.seconds);
+    const double per_op = r.seconds / static_cast<double>(r.iterations) * 1e9;
+    row.Add("ns_per_op", per_op);
+    const double ops =
+        r.seconds > 0 ? static_cast<double>(r.items) / r.seconds : 0;
+    row.Add("ops_per_second", ops);
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) {
+    std::cerr << "perf_report: micro section produced no rows\n";
+    return false;
+  }
+
+  std::vector<JsonObject> tp_rows;
+  for (const ThroughputRow& r : throughput) {
+    if (r.seconds <= 0 || r.num_vertices == 0) {
+      std::cerr << "perf_report: throughput row " << r.family << "/"
+                << r.partitioner << " is invalid\n";
+      return false;
+    }
+    JsonObject row;
+    row.Add("family", r.family);
+    row.Add("partitioner", r.partitioner);
+    row.Add("num_vertices", r.num_vertices);
+    row.Add("num_edges", r.num_edges);
+    row.Add("seconds", r.seconds);
+    row.Add("vertices_per_second", r.vertices_per_second);
+    row.Add("edges_per_second", r.edges_per_second);
+    tp_rows.push_back(std::move(row));
+  }
+  if (tp_rows.empty()) {
+    std::cerr << "perf_report: throughput section produced no rows\n";
+    return false;
+  }
+
+  JsonObject root;
+  root.Add("schema", std::string("loom-bench-micro-v2"));
+  root.Add("mode", mode);
+  root.AddRaw("results", RenderArray(rows, 2));
+  root.AddRaw("throughput", RenderArray(tp_rows, 2));
+  return WriteFile(path, root.Render(0));
+}
+
+}  // namespace bench
+}  // namespace loom

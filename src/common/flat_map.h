@@ -1,0 +1,292 @@
+#ifndef LOOM_COMMON_FLAT_MAP_H_
+#define LOOM_COMMON_FLAT_MAP_H_
+
+/// \file
+/// `FlatMap<K, V>`: an open-addressing hash map over integer keys, built for
+/// the streaming hot path.
+///
+/// `std::unordered_map` allocates one node per entry and chases a pointer per
+/// lookup; the per-arrival containers (window members, matcher indices,
+/// signature buckets) churn through it millions of times per stream. FlatMap
+/// keeps entries in one contiguous slot array:
+///
+///  * linear probing over a power-of-two capacity (mask, no modulo);
+///  * tombstone-free erase via backward shift, so probe chains never rot
+///    under the insert/erase churn of a sliding window;
+///  * keys hashed through a SplitMix64 finalizer, so dense ids spread.
+///
+/// The interface is the subset of `std::unordered_map` the call sites use
+/// (find / emplace / operator[] / erase / count / iteration). Iteration
+/// order is slot order — arbitrary, like the container it replaces; any
+/// rehash invalidates iterators and references (stricter than
+/// `std::unordered_map`, which keeps references stable — do not hold a
+/// reference across an insert).
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+
+#include "common/hash.h"
+
+namespace loom {
+
+/// Default FlatMap hash: SplitMix64 finalizer over the integer key.
+template <typename K>
+struct FlatMapIntHash {
+  uint64_t operator()(K key) const {
+    return MixBits(static_cast<uint64_t>(key));
+  }
+};
+
+template <typename K, typename V, typename Hash = FlatMapIntHash<K>>
+class FlatMap {
+ public:
+  /// Occupied-slot payload; `first`/`second` mirror `std::pair` so call
+  /// sites (and structured bindings) read identically to unordered_map.
+  struct Slot {
+    K first;
+    V second;
+  };
+  using value_type = Slot;
+
+  FlatMap() = default;
+
+  FlatMap(const FlatMap& other) { CopyFrom(other); }
+
+  FlatMap(FlatMap&& other) noexcept
+      : used_(std::move(other.used_)),
+        slots_(other.slots_),
+        capacity_(other.capacity_),
+        size_(other.size_) {
+    other.slots_ = nullptr;
+    other.capacity_ = 0;
+    other.size_ = 0;
+  }
+
+  FlatMap& operator=(const FlatMap& other) {
+    if (this != &other) {
+      Destroy();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+
+  FlatMap& operator=(FlatMap&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      used_ = std::move(other.used_);
+      slots_ = other.slots_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.slots_ = nullptr;
+      other.capacity_ = 0;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  ~FlatMap() { Destroy(); }
+
+  template <bool Const>
+  class Iter {
+   public:
+    using MapPtr = std::conditional_t<Const, const FlatMap*, FlatMap*>;
+    using SlotRef = std::conditional_t<Const, const Slot&, Slot&>;
+    using SlotPtr = std::conditional_t<Const, const Slot*, Slot*>;
+
+    Iter(MapPtr map, size_t idx) : map_(map), idx_(idx) { SkipEmpty(); }
+
+    SlotRef operator*() const { return map_->slots_[idx_]; }
+    SlotPtr operator->() const { return &map_->slots_[idx_]; }
+
+    Iter& operator++() {
+      ++idx_;
+      SkipEmpty();
+      return *this;
+    }
+
+    bool operator==(const Iter& other) const { return idx_ == other.idx_; }
+    bool operator!=(const Iter& other) const { return idx_ != other.idx_; }
+
+   private:
+    friend class FlatMap;
+    void SkipEmpty() {
+      while (idx_ < map_->capacity_ && !map_->used_[idx_]) ++idx_;
+    }
+    MapPtr map_;
+    size_t idx_;
+  };
+
+  using iterator = Iter<false>;
+  using const_iterator = Iter<true>;
+
+  iterator begin() { return iterator(this, 0); }
+  iterator end() { return iterator(this, capacity_); }
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, capacity_); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+
+  iterator find(const K& key) { return iterator(this, FindIndex(key)); }
+  const_iterator find(const K& key) const {
+    return const_iterator(this, FindIndex(key));
+  }
+
+  size_t count(const K& key) const {
+    return FindIndex(key) == capacity_ ? 0 : 1;
+  }
+
+  /// Inserts `{key, V(args...)}` if absent. Returns {iterator, inserted}.
+  /// A no-op emplace (key already present) never rehashes, so it keeps
+  /// iterators and references valid like a plain find.
+  template <typename... Args>
+  std::pair<iterator, bool> emplace(const K& key, Args&&... args) {
+    const size_t found = FindIndex(key);
+    if (found != capacity_) return {iterator(this, found), false};
+    ReserveForInsert();
+    size_t i = IndexFor(key);
+    while (used_[i]) i = (i + 1) & Mask();  // key known absent
+    ::new (static_cast<void*>(&slots_[i]))
+        Slot{key, V(std::forward<Args>(args)...)};
+    used_[i] = 1;
+    ++size_;
+    return {iterator(this, i), true};
+  }
+
+  V& operator[](const K& key) { return emplace(key).first->second; }
+
+  /// Removes `key` if present; returns the number of entries removed (0/1).
+  size_t erase(const K& key) {
+    const size_t i = FindIndex(key);
+    if (i == capacity_) return 0;
+    EraseSlot(i);
+    return 1;
+  }
+
+  void erase(const_iterator pos) {
+    assert(pos.idx_ < capacity_ && used_[pos.idx_]);
+    EraseSlot(pos.idx_);
+  }
+  void erase(iterator pos) {
+    assert(pos.idx_ < capacity_ && used_[pos.idx_]);
+    EraseSlot(pos.idx_);
+  }
+
+  void clear() {
+    for (size_t i = 0; i < capacity_; ++i) {
+      if (used_[i]) {
+        slots_[i].~Slot();
+        used_[i] = 0;
+      }
+    }
+    size_ = 0;
+  }
+
+  /// Pre-sizes the table for at least `n` entries without rehashing.
+  void reserve(size_t n) {
+    size_t needed = 16;
+    while (needed * 3 < n * 4) needed *= 2;  // keep load factor <= 0.75
+    if (needed > capacity_) Rehash(needed);
+  }
+
+ private:
+  size_t Mask() const { return capacity_ - 1; }
+  size_t IndexFor(const K& key) const { return Hash{}(key) & Mask(); }
+
+  /// Slot of `key`, or `capacity_` when absent (== end sentinel).
+  size_t FindIndex(const K& key) const {
+    if (capacity_ == 0) return 0;
+    size_t i = IndexFor(key);
+    while (used_[i]) {
+      if (slots_[i].first == key) return i;
+      i = (i + 1) & Mask();
+    }
+    return capacity_;
+  }
+
+  void ReserveForInsert() {
+    if (capacity_ == 0) {
+      Rehash(16);
+    } else if ((size_ + 1) * 4 > capacity_ * 3) {
+      Rehash(capacity_ * 2);
+    }
+  }
+
+  void Rehash(size_t new_capacity) {
+    assert((new_capacity & (new_capacity - 1)) == 0);
+    std::unique_ptr<uint8_t[]> old_used = std::move(used_);
+    Slot* old_slots = slots_;
+    const size_t old_capacity = capacity_;
+
+    used_ = std::make_unique<uint8_t[]>(new_capacity);
+    for (size_t i = 0; i < new_capacity; ++i) used_[i] = 0;
+    slots_ = static_cast<Slot*>(::operator new(
+        new_capacity * sizeof(Slot), std::align_val_t{alignof(Slot)}));
+    capacity_ = new_capacity;
+
+    for (size_t i = 0; i < old_capacity; ++i) {
+      if (!old_used[i]) continue;
+      size_t j = IndexFor(old_slots[i].first);
+      while (used_[j]) j = (j + 1) & Mask();
+      ::new (static_cast<void*>(&slots_[j])) Slot(std::move(old_slots[i]));
+      used_[j] = 1;
+      old_slots[i].~Slot();
+    }
+    if (old_slots != nullptr) {
+      ::operator delete(old_slots, std::align_val_t{alignof(Slot)});
+    }
+  }
+
+  /// Backward-shift deletion: no tombstones, so probe chains stay exactly as
+  /// long as the live entries require.
+  void EraseSlot(size_t i) {
+    slots_[i].~Slot();
+    used_[i] = 0;
+    --size_;
+    size_t j = i;
+    while (true) {
+      j = (j + 1) & Mask();
+      if (!used_[j]) return;
+      const size_t home = IndexFor(slots_[j].first);
+      // The entry at j may move into the hole at i iff its home lies
+      // cyclically at or before i — i.e. its probe distance spans the hole.
+      if (((j - home) & Mask()) >= ((j - i) & Mask())) {
+        ::new (static_cast<void*>(&slots_[i])) Slot(std::move(slots_[j]));
+        used_[i] = 1;
+        slots_[j].~Slot();
+        used_[j] = 0;
+        i = j;
+      }
+    }
+  }
+
+  void CopyFrom(const FlatMap& other) {
+    if (other.size_ == 0) return;
+    reserve(other.size_);
+    for (const Slot& s : other) emplace(s.first, s.second);
+  }
+
+  void Destroy() {
+    clear();
+    if (slots_ != nullptr) {
+      ::operator delete(slots_, std::align_val_t{alignof(Slot)});
+      slots_ = nullptr;
+    }
+    used_.reset();
+    capacity_ = 0;
+  }
+
+  std::unique_ptr<uint8_t[]> used_;
+  Slot* slots_ = nullptr;
+  size_t capacity_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace loom
+
+#endif  // LOOM_COMMON_FLAT_MAP_H_

@@ -1,26 +1,39 @@
 #include "common/primes.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <memory>
 #include <mutex>
+#include <vector>
 
 #include "common/hash.h"
 
 namespace loom {
 namespace {
 
-std::vector<uint64_t>& Cache() {
-  static std::vector<uint64_t> cache = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29};
-  return cache;
-}
+// The published snapshot: readers load `count` then `data`. Both are
+// monotone (the table only grows, and every published array contains every
+// previously published prefix), so any interleaving of the two loads yields
+// a data pointer valid for the loaded count.
+std::atomic<size_t> g_prime_count{0};
+std::atomic<const uint64_t*> g_prime_data{nullptr};
 
-std::mutex& CacheMutex() {
+std::mutex& GrowMutex() {
   static std::mutex mu;
   return mu;
 }
 
-bool IsPrimeAgainst(uint64_t candidate, const std::vector<uint64_t>& primes) {
-  for (uint64_t p : primes) {
+// Retains every published array for the process lifetime: a reader may hold
+// a stale pointer arbitrarily long, and the arrays are tiny.
+std::vector<std::unique_ptr<uint64_t[]>>& Published() {
+  static std::vector<std::unique_ptr<uint64_t[]>> arrays;
+  return arrays;
+}
+
+bool IsPrimeAgainst(uint64_t candidate, const uint64_t* primes, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t p = primes[i];
     if (p * p > candidate) break;
     if (candidate % p == 0) return false;
   }
@@ -30,85 +43,146 @@ bool IsPrimeAgainst(uint64_t candidate, const std::vector<uint64_t>& primes) {
 }  // namespace
 
 uint64_t PrimeTable::Get(uint32_t i) {
-  std::lock_guard<std::mutex> lock(CacheMutex());
-  auto& cache = Cache();
-  while (cache.size() <= i) {
-    uint64_t candidate = cache.back() + 2;
-    while (!IsPrimeAgainst(candidate, cache)) candidate += 2;
-    cache.push_back(candidate);
+  const size_t count = g_prime_count.load(std::memory_order_acquire);
+  if (i < count) {
+    return g_prime_data.load(std::memory_order_acquire)[i];
   }
-  return cache[i];
+  return GrowAndGet(i);
+}
+
+uint64_t PrimeTable::GrowAndGet(uint32_t i) {
+  std::lock_guard<std::mutex> lock(GrowMutex());
+  size_t count = g_prime_count.load(std::memory_order_acquire);
+  const uint64_t* data = g_prime_data.load(std::memory_order_acquire);
+  if (i < count) return data[i];  // another thread grew meanwhile
+
+  // Build a larger array (capacity doubling, never below the request).
+  size_t capacity = std::max<size_t>(64, count * 2);
+  while (capacity <= i) capacity *= 2;
+  auto fresh = std::make_unique<uint64_t[]>(capacity);
+  if (count > 0) std::copy(data, data + count, fresh.get());
+  if (count == 0) {
+    fresh[0] = 2;
+    fresh[1] = 3;
+    count = 2;
+  }
+  while (count <= i) {
+    uint64_t candidate = fresh[count - 1] + 2;
+    while (!IsPrimeAgainst(candidate, fresh.get(), count)) candidate += 2;
+    fresh[count++] = candidate;
+  }
+
+  const uint64_t result = fresh[i];
+  g_prime_data.store(fresh.get(), std::memory_order_release);
+  g_prime_count.store(count, std::memory_order_release);
+  Published().push_back(std::move(fresh));
+  return result;
 }
 
 size_t PrimeTable::CachedCount() {
-  std::lock_guard<std::mutex> lock(CacheMutex());
-  return Cache().size();
+  return g_prime_count.load(std::memory_order_acquire);
 }
 
-FactorMultiset::FactorMultiset(std::vector<uint32_t> factors)
-    : factors_(std::move(factors)) {
-  std::sort(factors_.begin(), factors_.end());
+FactorMultiset::FactorMultiset(std::vector<uint32_t> factors) {
+  std::sort(factors.begin(), factors.end());
+  for (const uint32_t f : factors) MultiplyFactor(f);
 }
 
 void FactorMultiset::MultiplyFactor(uint32_t idx) {
-  const auto pos = std::lower_bound(factors_.begin(), factors_.end(), idx);
-  factors_.insert(pos, idx);
+  const auto pos = std::lower_bound(
+      runs_.begin(), runs_.end(), idx,
+      [](const FactorRun& r, uint32_t i) { return r.idx < i; });
+  if (pos != runs_.end() && pos->idx == idx) {
+    ++pos->count;
+  } else {
+    runs_.insert(pos, FactorRun{idx, 1});
+  }
+  ++num_factors_;
+  product_ *= PrimeTable::Get(idx);
+  hash_sum_ += MixBits(idx);
 }
 
 void FactorMultiset::Multiply(const FactorMultiset& other) {
-  std::vector<uint32_t> merged;
-  merged.reserve(factors_.size() + other.factors_.size());
-  std::merge(factors_.begin(), factors_.end(), other.factors_.begin(),
-             other.factors_.end(), std::back_inserter(merged));
-  factors_ = std::move(merged);
+  SmallVector<FactorRun, 8> merged;
+  merged.reserve(runs_.size() + other.runs_.size());
+  const FactorRun* a = runs_.begin();
+  const FactorRun* b = other.runs_.begin();
+  while (a != runs_.end() && b != other.runs_.end()) {
+    if (a->idx < b->idx) {
+      merged.push_back(*a++);
+    } else if (b->idx < a->idx) {
+      merged.push_back(*b++);
+    } else {
+      merged.push_back(FactorRun{a->idx, a->count + b->count});
+      ++a;
+      ++b;
+    }
+  }
+  while (a != runs_.end()) merged.push_back(*a++);
+  while (b != other.runs_.end()) merged.push_back(*b++);
+  runs_ = std::move(merged);
+  num_factors_ += other.num_factors_;
+  product_ *= other.product_;
+  hash_sum_ += other.hash_sum_;
 }
 
 bool FactorMultiset::DivideFactor(uint32_t idx) {
-  const auto pos = std::lower_bound(factors_.begin(), factors_.end(), idx);
-  if (pos == factors_.end() || *pos != idx) return false;
-  factors_.erase(pos);
+  const auto pos = std::lower_bound(
+      runs_.begin(), runs_.end(), idx,
+      [](const FactorRun& r, uint32_t i) { return r.idx < i; });
+  if (pos == runs_.end() || pos->idx != idx) return false;
+  if (--pos->count == 0) runs_.erase(pos);
+  --num_factors_;
+  hash_sum_ -= MixBits(idx);
+  // 2^64 is not a field: even primes have no modular inverse, so the
+  // fingerprint is rebuilt. Division is cold (tests / diagnostics only).
+  product_ = 1;
+  for (const FactorRun& r : runs_) {
+    for (uint32_t c = 0; c < r.count; ++c) product_ *= PrimeTable::Get(r.idx);
+  }
   return true;
 }
 
 bool FactorMultiset::Divides(const FactorMultiset& other) const {
-  if (factors_.size() > other.factors_.size()) return false;
-  // Both sorted: a single merge walk checks sub-multiset inclusion.
-  size_t j = 0;
-  for (const uint32_t f : factors_) {
-    while (j < other.factors_.size() && other.factors_[j] < f) ++j;
-    if (j == other.factors_.size() || other.factors_[j] != f) return false;
-    ++j;
+  if (num_factors_ > other.num_factors_) return false;
+  if (num_factors_ == other.num_factors_) {
+    // Equal sizes: divides iff equal; the fingerprint rejects in O(1).
+    if (product_ != other.product_) return false;
+    return runs_ == other.runs_;
+  }
+  // Proper sub-multiset: every run must be covered with at least the same
+  // multiplicity. Both run lists sorted: single merge walk.
+  const FactorRun* b = other.runs_.begin();
+  for (const FactorRun& a : runs_) {
+    while (b != other.runs_.end() && b->idx < a.idx) ++b;
+    if (b == other.runs_.end() || b->idx != a.idx || b->count < a.count) {
+      return false;
+    }
+    ++b;
   }
   return true;
 }
 
-uint64_t FactorMultiset::Hash() const {
-  uint64_t h = 0xcbf29ce484222325ull;
-  for (const uint32_t f : factors_) h = HashCombine(h, f);
-  return h;
-}
-
-uint64_t FactorMultiset::ProductMod64() const {
-  uint64_t product = 1;
-  for (const uint32_t f : factors_) product *= PrimeTable::Get(f);
-  return product;
+std::vector<uint32_t> FactorMultiset::factors() const {
+  std::vector<uint32_t> out;
+  out.reserve(num_factors_);
+  for (const FactorRun& r : runs_) {
+    for (uint32_t c = 0; c < r.count; ++c) out.push_back(r.idx);
+  }
+  return out;
 }
 
 std::string FactorMultiset::ToString() const {
   std::string out = "{";
-  size_t i = 0;
   bool first = true;
-  while (i < factors_.size()) {
-    size_t j = i;
-    while (j < factors_.size() && factors_[j] == factors_[i]) ++j;
+  for (const FactorRun& r : runs_) {
     if (!first) out += " * ";
     first = false;
-    out += std::to_string(PrimeTable::Get(factors_[i]));
-    if (j - i > 1) {
+    out += std::to_string(PrimeTable::Get(r.idx));
+    if (r.count > 1) {
       out += "^";
-      out += std::to_string(j - i);
+      out += std::to_string(r.count);
     }
-    i = j;
   }
   out += "}";
   return out;

@@ -11,14 +11,30 @@
 /// prime indices* instead (`FactorMultiset`). Multiplication becomes multiset
 /// union and divisibility becomes multiset inclusion — exact at any size,
 /// with no big-integer arithmetic.
+///
+/// The multiset is stored run-length encoded — sorted (factor, count) pairs
+/// in a `SmallVector` — because real signatures repeat a handful of distinct
+/// factors many times (one per vertex/edge of the same label): a multiply is
+/// then usually a count increment instead of a memmove, and divisibility
+/// walks runs instead of individual factors. A `ProductMod64` fingerprint is
+/// maintained incrementally and used as an O(1) fast-reject in `Divides` and
+/// `operator==` before any run comparison.
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/hash.h"
+#include "common/small_vector.h"
+
 namespace loom {
 
 /// Lazily grown table of primes (2, 3, 5, ...), shared process-wide.
+///
+/// Reads are lock-free: the table is published as an immutable snapshot
+/// (pointer + count, both monotone), so the signature hot path — one Get per
+/// multiply for the product fingerprint — never takes a lock once the index
+/// has been materialised.
 class PrimeTable {
  public:
   /// The `i`-th prime (0-based: Get(0) == 2). Grows the sieve on demand.
@@ -28,10 +44,20 @@ class PrimeTable {
   static size_t CachedCount();
 
  private:
-  static void EnsureCount(size_t count);
+  static uint64_t GrowAndGet(uint32_t i);
 };
 
-/// A multiset of prime indices, kept sorted ascending.
+/// One run of a factor multiset: `count` occurrences of prime index `idx`.
+struct FactorRun {
+  uint32_t idx = 0;
+  uint32_t count = 0;
+
+  bool operator==(const FactorRun& other) const {
+    return idx == other.idx && count == other.count;
+  }
+};
+
+/// A multiset of prime indices, kept as sorted (index, count) runs.
 ///
 /// Represents the integer `Π prime(idx)` over all contained indices without
 /// ever computing that product exactly. Supports the three operations the
@@ -58,29 +84,43 @@ class FactorMultiset {
   bool Divides(const FactorMultiset& other) const;
 
   bool operator==(const FactorMultiset& other) const {
-    return factors_ == other.factors_;
+    // The fingerprint rejects nearly every unequal pair in one compare.
+    return product_ == other.product_ && num_factors_ == other.num_factors_ &&
+           runs_ == other.runs_;
   }
 
   /// Number of prime factors with multiplicity (Ω of the integer).
-  size_t NumFactors() const { return factors_.size(); }
+  size_t NumFactors() const { return num_factors_; }
 
-  bool Empty() const { return factors_.empty(); }
+  bool Empty() const { return num_factors_ == 0; }
 
   /// Stable 64-bit hash of the multiset (equal multisets hash equal).
-  uint64_t Hash() const;
+  /// Maintained incrementally as a commutative sum of per-factor mixes, so
+  /// this is O(1) — the trie's per-lookup hash is free.
+  uint64_t Hash() const { return 0xcbf29ce484222325ull + hash_sum_; }
 
-  /// The numeric product modulo 2^64 — a fast fingerprint used alongside
-  /// `Hash()`; collisions possible, equality of multisets is authoritative.
-  uint64_t ProductMod64() const;
+  /// The numeric product modulo 2^64 — a fast fingerprint maintained
+  /// incrementally; collisions possible, equality of multisets is
+  /// authoritative.
+  uint64_t ProductMod64() const { return product_; }
 
-  /// Sorted factor indices (ascending, with repetition).
-  const std::vector<uint32_t>& factors() const { return factors_; }
+  /// Sorted factor indices (ascending, with repetition), expanded from the
+  /// run-length representation. For tests and diagnostics.
+  std::vector<uint32_t> factors() const;
+
+  /// The run-length representation itself (sorted by index).
+  const SmallVector<FactorRun, 8>& runs() const { return runs_; }
 
   /// Renders e.g. "{2^1 * 5^2}" using prime values, for diagnostics.
   std::string ToString() const;
 
  private:
-  std::vector<uint32_t> factors_;
+  SmallVector<FactorRun, 8> runs_;
+  size_t num_factors_ = 0;
+  uint64_t product_ = 1;
+  /// Commutative hash state: Σ MixBits(idx) over factors with multiplicity.
+  /// Addition makes it order-free and exactly invertible on divide.
+  uint64_t hash_sum_ = 0;
 };
 
 }  // namespace loom

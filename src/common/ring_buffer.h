@@ -1,0 +1,71 @@
+#ifndef LOOM_COMMON_RING_BUFFER_H_
+#define LOOM_COMMON_RING_BUFFER_H_
+
+/// \file
+/// `RingBuffer<T>`: a flat FIFO over a power-of-two circular array.
+///
+/// Replaces `std::deque` in the stream window's age queue: a deque allocates
+/// and frees fixed-size blocks as the window churns, while the ring buffer
+/// reaches steady state after one allocation and then never touches the
+/// allocator again. Only the queue operations the window needs: push_back,
+/// front, pop_front.
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace loom {
+
+template <typename T>
+class RingBuffer {
+ public:
+  RingBuffer() = default;
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+
+  void push_back(const T& value) {
+    if (size_ == buf_.size()) Grow();
+    buf_[(head_ + size_) & (buf_.size() - 1)] = value;
+    ++size_;
+  }
+
+  const T& front() const {
+    assert(size_ > 0);
+    return buf_[head_];
+  }
+
+  void pop_front() {
+    assert(size_ > 0);
+    head_ = (head_ + 1) & (buf_.size() - 1);
+    --size_;
+  }
+
+  /// Calls `fn(element)` for each queued element, oldest first.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < size_; ++i) {
+      fn(buf_[(head_ + i) & (buf_.size() - 1)]);
+    }
+  }
+
+ private:
+  void Grow() {
+    const size_t new_capacity = buf_.empty() ? 16 : buf_.size() * 2;
+    std::vector<T> fresh(new_capacity);
+    for (size_t i = 0; i < size_; ++i) {
+      fresh[i] = buf_[(head_ + i) & (buf_.size() - 1)];
+    }
+    buf_ = std::move(fresh);
+    head_ = 0;
+  }
+
+  /// Power-of-two sized storage (empty until the first push).
+  std::vector<T> buf_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace loom
+
+#endif  // LOOM_COMMON_RING_BUFFER_H_

@@ -1,0 +1,263 @@
+#ifndef LOOM_COMMON_SMALL_VECTOR_H_
+#define LOOM_COMMON_SMALL_VECTOR_H_
+
+/// \file
+/// `SmallVector<T, N>`: a contiguous vector with inline storage for the
+/// first N elements.
+///
+/// The streaming hot path is dominated by very short sequences — a window
+/// member's neighbour list, a tracked sub-graph's vertex/edge set, a
+/// signature's factor runs, a trie node's children — whose median size is
+/// far below a dozen. `std::vector` pays one heap allocation (and one cache
+/// miss per traversal) for each of them; SmallVector keeps them in the
+/// object itself and only spills to the heap past N.
+///
+/// Deliberately minimal: the subset of the `std::vector` interface the loom
+/// call sites use, with the same iterator-invalidation rules (any growth
+/// invalidates). Element type may be non-trivial; growth uses move
+/// construction.
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace loom {
+
+template <typename T, size_t N>
+class SmallVector {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  static_assert(N >= 1, "inline capacity must be at least 1");
+
+  SmallVector() = default;
+
+  SmallVector(std::initializer_list<T> init) {
+    assign(init.begin(), init.end());
+  }
+
+  template <typename InputIt>
+  SmallVector(InputIt first, InputIt last) {
+    assign(first, last);
+  }
+
+  SmallVector(const SmallVector& other) { assign(other.begin(), other.end()); }
+
+  SmallVector(SmallVector&& other) noexcept { MoveFrom(std::move(other)); }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) assign(other.begin(), other.end());
+    return *this;
+  }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  SmallVector& operator=(std::initializer_list<T> init) {
+    assign(init.begin(), init.end());
+    return *this;
+  }
+
+  ~SmallVector() { Destroy(); }
+
+  template <typename InputIt>
+  void assign(InputIt first, InputIt last) {
+    clear();
+    for (; first != last; ++first) push_back(*first);
+  }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  const T* cbegin() const { return data_; }
+  const T* cend() const { return data_ + size_; }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+
+  T& operator[](size_t i) {
+    assert(i < size_);
+    return data_[i];
+  }
+  const T& operator[](size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  T& front() {
+    assert(size_ > 0);
+    return data_[0];
+  }
+  const T& front() const {
+    assert(size_ > 0);
+    return data_[0];
+  }
+  T& back() {
+    assert(size_ > 0);
+    return data_[size_ - 1];
+  }
+  const T& back() const {
+    assert(size_ > 0);
+    return data_[size_ - 1];
+  }
+
+  void reserve(size_t n) {
+    if (n > capacity_) Grow(n);
+  }
+
+  void push_back(const T& value) { emplace_back(value); }
+  void push_back(T&& value) { emplace_back(std::move(value)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) Grow(capacity_ * 2);
+    ::new (static_cast<void*>(data_ + size_)) T(std::forward<Args>(args)...);
+    return data_[size_++];
+  }
+
+  void pop_back() {
+    assert(size_ > 0);
+    data_[--size_].~T();
+  }
+
+  /// Inserts `value` before `pos`; returns the iterator to the new element.
+  T* insert(const T* pos, T value) {
+    const size_t idx = static_cast<size_t>(pos - data_);
+    assert(idx <= size_);
+    if (size_ == capacity_) Grow(capacity_ * 2);
+    if (idx == size_) {
+      ::new (static_cast<void*>(data_ + size_)) T(std::move(value));
+    } else {
+      // Shift the tail right by one: move-construct into the new last slot,
+      // move-assign the rest, then drop the value into place.
+      ::new (static_cast<void*>(data_ + size_)) T(std::move(data_[size_ - 1]));
+      for (size_t i = size_ - 1; i > idx; --i) {
+        data_[i] = std::move(data_[i - 1]);
+      }
+      data_[idx] = std::move(value);
+    }
+    ++size_;
+    return data_ + idx;
+  }
+
+  /// Removes the element at `pos`; returns the iterator past the removed one.
+  T* erase(const T* pos) { return erase(pos, pos + 1); }
+
+  /// Removes [first, last); returns the iterator past the removed range.
+  T* erase(const T* first, const T* last) {
+    const size_t lo = static_cast<size_t>(first - data_);
+    const size_t hi = static_cast<size_t>(last - data_);
+    assert(lo <= hi && hi <= size_);
+    const size_t count = hi - lo;
+    if (count == 0) return data_ + lo;
+    for (size_t i = lo; i + count < size_; ++i) {
+      data_[i] = std::move(data_[i + count]);
+    }
+    for (size_t i = size_ - count; i < size_; ++i) data_[i].~T();
+    size_ -= count;
+    return data_ + lo;
+  }
+
+  void resize(size_t n) {
+    while (size_ > n) pop_back();
+    reserve(n);
+    while (size_ < n) emplace_back();
+  }
+
+  void clear() {
+    for (size_t i = 0; i < size_; ++i) data_[i].~T();
+    size_ = 0;
+  }
+
+  bool operator==(const SmallVector& other) const {
+    return size_ == other.size_ &&
+           std::equal(begin(), end(), other.begin());
+  }
+  bool operator!=(const SmallVector& other) const { return !(*this == other); }
+  bool operator<(const SmallVector& other) const {
+    return std::lexicographical_compare(begin(), end(), other.begin(),
+                                        other.end());
+  }
+
+ private:
+  T* InlineData() { return reinterpret_cast<T*>(inline_storage_); }
+  bool IsInline() const {
+    return data_ == reinterpret_cast<const T*>(inline_storage_);
+  }
+
+  void Grow(size_t new_capacity) {
+    new_capacity = std::max(new_capacity, size_t{N} * 2);
+    T* fresh = static_cast<T*>(::operator new(new_capacity * sizeof(T),
+                                              std::align_val_t{alignof(T)}));
+    for (size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    ReleaseHeap();
+    data_ = fresh;
+    capacity_ = new_capacity;
+  }
+
+  void ReleaseHeap() {
+    if (!IsInline()) {
+      ::operator delete(data_, std::align_val_t{alignof(T)});
+    }
+  }
+
+  void Destroy() {
+    clear();
+    ReleaseHeap();
+    data_ = InlineData();
+    capacity_ = N;
+  }
+
+  /// Steals `other`'s heap buffer when it has one; element-wise move when it
+  /// is inline. `other` is left empty (inline) either way. Precondition: this
+  /// holds no elements and no heap buffer.
+  void MoveFrom(SmallVector&& other) {
+    if (other.IsInline()) {
+      data_ = InlineData();
+      capacity_ = N;
+      for (size_t i = 0; i < other.size_; ++i) {
+        ::new (static_cast<void*>(data_ + i)) T(std::move(other.data_[i]));
+        other.data_[i].~T();
+      }
+      size_ = other.size_;
+      other.size_ = 0;
+    } else {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.InlineData();
+      other.capacity_ = N;
+      other.size_ = 0;
+    }
+  }
+
+  alignas(T) unsigned char inline_storage_[N * sizeof(T)];
+  T* data_ = InlineData();
+  size_t size_ = 0;
+  size_t capacity_ = N;
+};
+
+}  // namespace loom
+
+#endif  // LOOM_COMMON_SMALL_VECTOR_H_

@@ -67,20 +67,27 @@ double LoomPartitioner::EdgeWeightTo(Label member_label, VertexId w) const {
   }
   const auto it =
       edge_weight_.find(trie_->scheme().EdgeFactor(member_label, wl));
-  return it == edge_weight_.end() ? loom_options_.untraversed_edge_weight
-                                  : std::max(it->second,
-                                             loom_options_.untraversed_edge_weight);
+  if (it == edge_weight_.end()) return loom_options_.untraversed_edge_weight;
+  return std::max(it->second, loom_options_.untraversed_edge_weight);
 }
 
 void LoomPartitioner::ScoreVertices(const std::vector<VertexId>& vertices,
                                     std::vector<double>* scores) const {
-  std::fill(scores->begin(), scores->end(), 0.0);
+  // Sparse reset of the partitions the previous round dirtied: O(touched)
+  // instead of an O(k) fill per scored unit. Every writer of `scores_` goes
+  // through this reset-then-accumulate cycle.
+  for (const uint32_t p : touched_scores_) (*scores)[p] = 0.0;
+  touched_scores_.clear();
   for (const VertexId member : vertices) {
     const WindowMember& m = window_.Get(member);
     for (const VertexId w : m.neighbors) {
       const int32_t p = ScorePartOf(w);
       if (p >= 0) {
-        (*scores)[static_cast<uint32_t>(p)] += EdgeWeightTo(m.label, w);
+        double& s = (*scores)[static_cast<uint32_t>(p)];
+        // Record before the add: a zero entry is exactly one not yet listed
+        // this round, so the list stays bounded by k, not by degree.
+        if (s == 0.0) touched_scores_.push_back(static_cast<uint32_t>(p));
+        s += EdgeWeightTo(m.label, w);
       }
     }
   }
@@ -194,11 +201,14 @@ void LoomPartitioner::SplitAndAssignCluster(
 }
 
 void LoomPartitioner::AssignSingle(const WindowMember& member) {
-  std::fill(scores_.begin(), scores_.end(), 0.0);
+  for (const uint32_t p : touched_scores_) scores_[p] = 0.0;
+  touched_scores_.clear();
   for (const VertexId w : member.neighbors) {
     const int32_t p = ScorePartOf(w);
     if (p >= 0) {
-      scores_[static_cast<uint32_t>(p)] += EdgeWeightTo(member.label, w);
+      double& s = scores_[static_cast<uint32_t>(p)];
+      if (s == 0.0) touched_scores_.push_back(static_cast<uint32_t>(p));
+      s += EdgeWeightTo(member.label, w);
     }
   }
   AssignOrFallback(member.id, PickLdgPartitionWeighted(assignment_, scores_));

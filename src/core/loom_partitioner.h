@@ -19,8 +19,9 @@
 /// paper flags as future work (§4.4, §5).
 
 #include <memory>
-#include <unordered_map>
 
+#include "common/flat_map.h"
+#include "common/small_vector.h"
 #include "core/loom_options.h"
 #include "matching/stream_matcher.h"
 #include "partition/partitioner.h"
@@ -81,12 +82,15 @@ class LoomPartitioner : public StreamingPartitioner {
   /// `stats_` so neither shadows the other.
   LoomStats loom_stats_;
   std::vector<double> scores_;
+  /// Partitions dirtied in `scores_` by the previous scoring round; mutable
+  /// because `ScoreVertices` (const) owns the reset-then-accumulate cycle.
+  mutable SmallVector<uint32_t, 16> touched_scores_;
   /// Label of every vertex ever seen (index = VertexId); needed to weight
   /// edges towards already-assigned endpoints.
   std::vector<Label> label_of_;
   /// Traversal probability per signature edge-factor index (from the trie's
   /// one-edge motifs); empty when weighting is disabled.
-  std::unordered_map<uint32_t, double> edge_weight_;
+  FlatMap<uint32_t, double> edge_weight_;
   const TpstryPP* trie_;
 };
 

@@ -16,11 +16,11 @@ uint64_t EdgeBits(const Edge& e) {
   return (static_cast<uint64_t>(n.u) << 32) | n.v;
 }
 
-bool ContainsVertex(const std::vector<VertexId>& sorted, VertexId v) {
+bool ContainsVertex(const SmallVector<VertexId, 8>& sorted, VertexId v) {
   return std::binary_search(sorted.begin(), sorted.end(), v);
 }
 
-bool ContainsEdge(const std::vector<Edge>& sorted_edges, const Edge& e) {
+bool ContainsEdge(const SmallVector<Edge, 8>& sorted_edges, const Edge& e) {
   // Edge lists are kept sorted by their 64-bit normalized encoding.
   const uint64_t bits = EdgeBits(e);
   const auto it = std::lower_bound(
@@ -38,7 +38,7 @@ StreamMatcher::StreamMatcher(const TpstryPP* trie,
   useful_ = trie_->UsefulBitmap(options_.frequency_threshold);
 }
 
-uint64_t StreamMatcher::KeyOf(const std::vector<Edge>& edges) {
+uint64_t StreamMatcher::KeyOf(const SmallVector<Edge, 8>& edges) {
   uint64_t h = 0x9E3779B97F4A7C15ull;
   for (const Edge& e : edges) h = HashCombine(h, EdgeBits(e));
   return h;
@@ -50,16 +50,26 @@ Label StreamMatcher::LabelIn(VertexId v) const {
   return it->second;
 }
 
+bool StreamMatcher::InAlphabet(Label label) const {
+  return label < trie_->scheme().num_labels();
+}
+
 void StreamMatcher::OnVertex(VertexId v, Label label,
                              const std::vector<VertexId>& window_back_edges) {
   labels_.emplace(v, label);
-  adjacency_.emplace(v, std::vector<VertexId>{});
+  adjacency_.emplace(v);
   for (const VertexId w : window_back_edges) {
     assert(labels_.count(w) > 0 && "back edge endpoint not in window");
     adjacency_[v].push_back(w);
     adjacency_[w].push_back(v);
   }
-  for (const VertexId w : window_back_edges) ProcessEdge(w, v);
+  // Edges with an out-of-alphabet endpoint can never start or extend a
+  // motif; skipping them here keeps every signature update inside the
+  // scheme (the stream's label universe may exceed the workload's).
+  if (!InAlphabet(label)) return;
+  for (const VertexId w : window_back_edges) {
+    if (InAlphabet(LabelIn(w))) ProcessEdge(w, v);
+  }
 }
 
 bool StreamMatcher::ResolveNode(Tracked* t) const {
@@ -250,6 +260,12 @@ void StreamMatcher::ReGrow(VertexId u, VertexId v) {
     const bool has_u = ContainsVertex(current.vertices, e.u);
     const bool has_v = ContainsVertex(current.vertices, e.v);
     if (!has_u && !has_v) continue;  // became stale; skip
+    // A new endpoint outside the alphabet cannot be part of any motif:
+    // discard the edge (permanently, like any rejected growth).
+    if ((!has_u && !InAlphabet(LabelIn(e.u))) ||
+        (!has_v && !InAlphabet(LabelIn(e.v)))) {
+      continue;
+    }
 
     Tracked candidate = current;
     candidate.edges.push_back(e);
@@ -282,22 +298,25 @@ void StreamMatcher::RemoveVertex(VertexId v) {
   const auto idx = by_vertex_.find(v);
   if (idx != by_vertex_.end()) {
     for (const uint64_t key : idx->second) {
-      const auto it = tracked_.find(key);
-      if (it == tracked_.end()) continue;
       // Unlink from the other member vertices' indices lazily: just erase the
       // tracked entry; stale keys in by_vertex_ are skipped on lookup.
-      tracked_.erase(it);
+      tracked_.erase(key);
     }
     by_vertex_.erase(idx);
   }
-  // Remove v from the window view.
+  // Remove v from the window view. The neighbour list is copied out first:
+  // FlatMap's backward-shift erase relocates slots, so `adj->second` would
+  // dangle across the erase (unordered_map kept references stable here).
   const auto adj = adjacency_.find(v);
   if (adj != adjacency_.end()) {
-    for (const VertexId w : adj->second) {
-      auto& back = adjacency_[w];
+    const SmallVector<VertexId, 8> neighbors = adj->second;
+    adjacency_.erase(adj);
+    for (const VertexId w : neighbors) {
+      const auto wit = adjacency_.find(w);
+      if (wit == adjacency_.end()) continue;
+      auto& back = wit->second;
       back.erase(std::remove(back.begin(), back.end(), v), back.end());
     }
-    adjacency_.erase(adj);
   }
   labels_.erase(v);
 }
@@ -351,7 +370,7 @@ std::vector<std::vector<VertexId>> StreamMatcher::FrequentMatchVertexSets()
   std::vector<std::vector<VertexId>> out;
   for (const auto& [key, t] : tracked_) {
     (void)key;
-    if (t.frequent) out.push_back(t.vertices);
+    if (t.frequent) out.emplace_back(t.vertices.begin(), t.vertices.end());
   }
   std::sort(out.begin(), out.end());
   return out;

@@ -24,9 +24,10 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
+#include "common/small_vector.h"
 #include "graph/graph.h"
 #include "tpstry/tpstry_pp.h"
 
@@ -95,17 +96,23 @@ class StreamMatcher {
 
  private:
   struct Tracked {
-    std::vector<Edge> edges;       // normalized, sorted
-    std::vector<VertexId> vertices;  // sorted
+    SmallVector<Edge, 8> edges;       // normalized, sorted
+    SmallVector<VertexId, 8> vertices;  // sorted
     GraphSignature signature;
     TpstryNodeId node = kInvalidTpstryNode;
     bool frequent = false;
   };
 
   /// Stable key of an edge set (normalized + sorted edges hashed).
-  static uint64_t KeyOf(const std::vector<Edge>& edges);
+  static uint64_t KeyOf(const SmallVector<Edge, 8>& edges);
 
   Label LabelIn(VertexId v) const;
+
+  /// True iff `label` is inside the trie's signature alphabet. A vertex with
+  /// an out-of-alphabet label occurs in no motif, so the matcher never grows
+  /// a sub-graph through it — multiplying its factor would be outside the
+  /// scheme (an assert in Debug, an edge-factor collision under NDEBUG).
+  bool InAlphabet(Label label) const;
 
   /// Processes one in-window edge arrival.
   void ProcessEdge(VertexId u, VertexId v);
@@ -133,12 +140,12 @@ class StreamMatcher {
   StreamMatcherStats stats_;
 
   /// In-window view: labels and adjacency restricted to buffered vertices.
-  std::unordered_map<VertexId, Label> labels_;
-  std::unordered_map<VertexId, std::vector<VertexId>> adjacency_;
+  FlatMap<VertexId, Label> labels_;
+  FlatMap<VertexId, SmallVector<VertexId, 8>> adjacency_;
 
-  std::unordered_map<uint64_t, Tracked> tracked_;
+  FlatMap<uint64_t, Tracked> tracked_;
   /// vertex -> keys of tracked sub-graphs containing it.
-  std::unordered_map<VertexId, std::vector<uint64_t>> by_vertex_;
+  FlatMap<VertexId, SmallVector<uint64_t, 4>> by_vertex_;
 };
 
 }  // namespace loom

@@ -26,10 +26,13 @@ void BufferedLdgPartitioner::BeginPass(const PartitionAssignment* prior) {
 }
 
 void BufferedLdgPartitioner::AssignMember(const WindowMember& member) {
-  std::fill(edge_counts_.begin(), edge_counts_.end(), 0);
+  for (const uint32_t p : touched_) edge_counts_[p] = 0;
+  touched_.clear();
   for (const VertexId w : member.neighbors) {
     const int32_t p = ScorePartOf(w);
-    if (p >= 0) ++edge_counts_[static_cast<uint32_t>(p)];
+    if (p >= 0 && edge_counts_[static_cast<uint32_t>(p)]++ == 0) {
+      touched_.push_back(static_cast<uint32_t>(p));
+    }
   }
   AssignOrFallback(member.id, PickLdgPartition(assignment_, edge_counts_));
 }

@@ -7,6 +7,7 @@
 /// been observed. This is exactly LOOM minus the motif machinery — the
 /// paper's implicit "buffering alone" ablation (experiment E8a).
 
+#include "common/small_vector.h"
 #include "partition/partitioner.h"
 #include "stream/window.h"
 
@@ -36,6 +37,8 @@ class BufferedLdgPartitioner : public StreamingPartitioner {
 
   StreamWindow window_;
   std::vector<uint32_t> edge_counts_;
+  /// Partitions dirtied by the last member (sparse O(degree) reset).
+  SmallVector<uint32_t, 16> touched_;
 };
 
 }  // namespace loom

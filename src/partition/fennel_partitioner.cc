@@ -15,10 +15,13 @@ FennelPartitioner::FennelPartitioner(const PartitionerOptions& options)
 
 void FennelPartitioner::OnVertex(VertexId v, Label /*label*/,
                                  const std::vector<VertexId>& back_edges) {
-  std::fill(edge_counts_.begin(), edge_counts_.end(), 0);
+  for (const uint32_t p : touched_) edge_counts_[p] = 0;
+  touched_.clear();
   for (const VertexId w : back_edges) {
     const int32_t p = ScorePartOf(w);
-    if (p >= 0) ++edge_counts_[static_cast<uint32_t>(p)];
+    if (p >= 0 && edge_counts_[static_cast<uint32_t>(p)]++ == 0) {
+      touched_.push_back(static_cast<uint32_t>(p));
+    }
   }
 
   uint32_t best = assignment_.k();

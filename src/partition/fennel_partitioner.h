@@ -7,6 +7,7 @@
 /// between neighbour attraction and a superlinear size penalty,
 /// score_i = |N(v) ∩ V_i| − α · γ · |V_i|^(γ−1).
 
+#include "common/small_vector.h"
 #include "partition/partitioner.h"
 
 namespace loom {
@@ -29,6 +30,8 @@ class FennelPartitioner : public StreamingPartitioner {
   double gamma_ = 1.5;
   double alpha_ = 1.0;
   std::vector<uint32_t> edge_counts_;
+  /// Partitions dirtied by the last vertex (sparse O(degree) reset).
+  SmallVector<uint32_t, 16> touched_;
 };
 
 }  // namespace loom

@@ -1,15 +1,18 @@
 #include "partition/ldg_partitioner.h"
 
-#include <algorithm>
-
 namespace loom {
 
 void LdgPartitioner::OnVertex(VertexId v, Label /*label*/,
                               const std::vector<VertexId>& back_edges) {
-  std::fill(edge_counts_.begin(), edge_counts_.end(), 0);
+  // Sparse reset: only the partitions touched by the previous vertex are
+  // dirty, so clearing them costs O(degree) instead of O(k) per arrival.
+  for (const uint32_t p : touched_) edge_counts_[p] = 0;
+  touched_.clear();
   for (const VertexId w : back_edges) {
     const int32_t p = ScorePartOf(w);
-    if (p >= 0) ++edge_counts_[static_cast<uint32_t>(p)];
+    if (p >= 0 && edge_counts_[static_cast<uint32_t>(p)]++ == 0) {
+      touched_.push_back(static_cast<uint32_t>(p));
+    }
   }
   AssignOrFallback(v, PickLdgPartition(assignment_, edge_counts_));
 }

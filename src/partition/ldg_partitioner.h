@@ -6,6 +6,7 @@
 /// heuristic (§4.1): place each arriving vertex in the partition holding most
 /// of its neighbours, weighted by the partition's free capacity 1 - |Vi|/C.
 
+#include "common/small_vector.h"
 #include "partition/partitioner.h"
 
 namespace loom {
@@ -24,6 +25,9 @@ class LdgPartitioner : public StreamingPartitioner {
  private:
   /// Scratch: edges from the arriving vertex into each partition.
   std::vector<uint32_t> edge_counts_;
+  /// Partitions dirtied by the last vertex (duplicates allowed); resetting
+  /// these instead of std::fill-ing all k is the low-degree fast path.
+  SmallVector<uint32_t, 16> touched_;
 };
 
 }  // namespace loom

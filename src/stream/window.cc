@@ -5,31 +5,52 @@
 namespace loom {
 
 StreamWindow::StreamWindow(size_t capacity)
-    : capacity_(capacity == 0 ? 1 : capacity) {}
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  // Fixed arena: at most `capacity_` members are ever buffered, and the
+  // index is sized once so steady-state churn never rehashes.
+  arena_.resize(capacity_);
+  free_slots_.reserve(capacity_);
+  for (size_t i = 0; i < capacity_; ++i) {
+    free_slots_.push_back(static_cast<uint32_t>(capacity_ - 1 - i));
+  }
+  index_.reserve(capacity_ + 1);
+}
 
 void StreamWindow::Push(VertexId v, Label label,
                         const std::vector<VertexId>& back_edges,
                         bool record_reverse) {
   assert(!Full() && "Push on a full window; evict first");
   assert(!Contains(v));
-  WindowMember member;
+  if (free_slots_.empty()) {
+    // Misuse guard (NDEBUG): a push past capacity grows the arena instead of
+    // corrupting it, matching the old map's unbounded-growth behaviour.
+    arena_.emplace_back();
+    free_slots_.push_back(static_cast<uint32_t>(arena_.size() - 1));
+  }
+  const uint32_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  WindowMember& member = arena_[slot];
   member.id = v;
   member.label = label;
   member.arrival_seq = next_seq_++;
-  member.neighbors = back_edges;
+  member.neighbors.assign(back_edges.begin(), back_edges.end());
   // Back edges into the window are symmetric: tell the buffered neighbour.
   if (record_reverse) {
     for (const VertexId w : back_edges) {
-      const auto it = members_.find(w);
-      if (it != members_.end()) it->second.neighbors.push_back(v);
+      const auto it = index_.find(w);
+      if (it != index_.end()) arena_[it->second].neighbors.push_back(v);
     }
   }
-  members_.emplace(v, std::move(member));
+  if (!index_.emplace(v, slot).second) {
+    // Misuse guard (NDEBUG): a duplicate push keeps the original member,
+    // like the map it replaced — return the staged slot to the free list.
+    free_slots_.push_back(slot);
+  }
   age_queue_.push_back(v);
 }
 
 void StreamWindow::CompactFront() {
-  while (!age_queue_.empty() && members_.count(age_queue_.front()) == 0) {
+  while (!age_queue_.empty() && index_.count(age_queue_.front()) == 0) {
     age_queue_.pop_front();
   }
 }
@@ -49,25 +70,29 @@ WindowMember StreamWindow::PopOldest() {
 }
 
 WindowMember StreamWindow::Remove(VertexId v) {
-  const auto it = members_.find(v);
-  assert(it != members_.end());
-  WindowMember out = std::move(it->second);
-  members_.erase(it);
-  return out;
+  const auto it = index_.find(v);
+  assert(it != index_.end());
+  const uint32_t slot = it->second;
+  index_.erase(it);
+  free_slots_.push_back(slot);
+  // Moving out leaves the slot's member empty; a spilled neighbour list's
+  // heap buffer leaves with the member, but typical members stay inline and
+  // the arena slot is reused allocation-free.
+  return std::move(arena_[slot]);
 }
 
 const WindowMember& StreamWindow::Get(VertexId v) const {
-  const auto it = members_.find(v);
-  assert(it != members_.end());
-  return it->second;
+  const auto it = index_.find(v);
+  assert(it != index_.end());
+  return arena_[it->second];
 }
 
 std::vector<VertexId> StreamWindow::MembersInOrder() const {
   std::vector<VertexId> out;
-  out.reserve(members_.size());
-  for (const VertexId v : age_queue_) {
-    if (members_.count(v) > 0) out.push_back(v);
-  }
+  out.reserve(index_.size());
+  age_queue_.ForEach([&](VertexId v) {
+    if (index_.count(v) > 0) out.push_back(v);
+  });
   return out;
 }
 

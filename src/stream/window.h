@@ -9,10 +9,11 @@
 /// and to vertices that have already left (and are therefore partitioned).
 
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
+#include "common/ring_buffer.h"
+#include "common/small_vector.h"
 #include "graph/graph.h"
 
 namespace loom {
@@ -25,7 +26,8 @@ struct WindowMember {
   uint64_t arrival_seq = 0;
   /// Every neighbour observed while buffered: back-edges carried by this
   /// vertex's arrival plus edges carried by later arrivals pointing at it.
-  std::vector<VertexId> neighbors;
+  /// Inline storage covers the typical (small-median-degree) case.
+  SmallVector<VertexId, 8> neighbors;
 };
 
 /// Count-bounded sliding window over vertex arrivals.
@@ -46,12 +48,12 @@ class StreamWindow {
   void Push(VertexId v, Label label, const std::vector<VertexId>& back_edges,
             bool record_reverse = true);
 
-  bool Full() const { return members_.size() >= capacity_; }
-  bool Empty() const { return members_.empty(); }
-  size_t Size() const { return members_.size(); }
+  bool Full() const { return index_.size() >= capacity_; }
+  bool Empty() const { return index_.empty(); }
+  size_t Size() const { return index_.size(); }
   size_t Capacity() const { return capacity_; }
 
-  bool Contains(VertexId v) const { return members_.count(v) > 0; }
+  bool Contains(VertexId v) const { return index_.count(v) > 0; }
 
   /// The buffered vertex with the smallest arrival sequence.
   VertexId Oldest() const;
@@ -72,9 +74,16 @@ class StreamWindow {
  private:
   size_t capacity_;
   uint64_t next_seq_ = 0;
-  std::unordered_map<VertexId, WindowMember> members_;
+  /// Members live in fixed arena slots (index = slot id) so that map churn
+  /// never moves a WindowMember: the hash table holds 4-byte slot ids, and
+  /// backward-shift erase relocates those, not 80-byte members. (A removed
+  /// member is moved out to the caller, so a spilled neighbour list leaves
+  /// with it — typical members stay inline and recycle allocation-free.)
+  std::vector<WindowMember> arena_;
+  std::vector<uint32_t> free_slots_;
+  FlatMap<VertexId, uint32_t> index_;
   /// Arrival order with lazy deletion (entries may refer to removed members).
-  std::deque<VertexId> age_queue_;
+  RingBuffer<VertexId> age_queue_;
 
   void CompactFront();
 };

@@ -32,20 +32,33 @@ void ExtendPaths(const LabeledGraph& q, std::vector<VertexId>* path,
 
 }  // namespace
 
+const uint32_t* Tpstry::Node::FindChild(Label l) const {
+  const auto it = std::lower_bound(
+      children.begin(), children.end(), l,
+      [](const std::pair<Label, uint32_t>& c, Label want) {
+        return c.first < want;
+      });
+  return it != children.end() && it->first == l ? &it->second : nullptr;
+}
+
 uint32_t Tpstry::Intern(const std::vector<Label>& path) {
   uint32_t node = 0;
   for (const Label l : path) {
-    auto& children = nodes_[node].children;
-    const auto it = children.find(l);
-    if (it != children.end()) {
-      node = it->second;
+    if (const uint32_t* child = nodes_[node].FindChild(l)) {
+      node = *child;
       continue;
     }
     const uint32_t next = static_cast<uint32_t>(nodes_.size());
     Node fresh;
     fresh.label = l;
     nodes_.push_back(fresh);
-    nodes_[node].children.emplace(l, next);
+    auto& children = nodes_[node].children;
+    const auto pos = std::lower_bound(
+        children.begin(), children.end(), l,
+        [](const std::pair<Label, uint32_t>& c, Label want) {
+          return c.first < want;
+        });
+    children.insert(pos, std::make_pair(l, next));
     node = next;
   }
   return node;
@@ -108,9 +121,9 @@ std::vector<std::vector<Label>> Tpstry::FrequentPaths(double threshold) const {
 double Tpstry::SupportOf(const std::vector<Label>& path) const {
   uint32_t node = 0;
   for (const Label l : path) {
-    const auto it = nodes_[node].children.find(l);
-    if (it == nodes_[node].children.end()) return 0.0;
-    node = it->second;
+    const uint32_t* child = nodes_[node].FindChild(l);
+    if (child == nullptr) return 0.0;
+    node = *child;
   }
   return node == 0 ? 0.0 : nodes_[node].support;
 }

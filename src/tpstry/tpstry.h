@@ -9,10 +9,11 @@
 /// for structure-size comparisons.
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/small_vector.h"
 #include "common/status.h"
 #include "graph/graph.h"
 
@@ -48,7 +49,13 @@ class Tpstry {
   struct Node {
     Label label = 0;
     double support = 0.0;
-    std::map<Label, uint32_t> children;
+    /// Children as (label, node index) pairs, sorted by label — binary
+    /// search replaces the tree walk, inline storage the per-node
+    /// allocations, and label-ordered traversal is preserved.
+    SmallVector<std::pair<Label, uint32_t>, 4> children;
+
+    /// Child for `label`, or nullptr. (Sorted lookup.)
+    const uint32_t* FindChild(Label l) const;
   };
 
   /// Walks/creates the path and returns the final node index.

@@ -57,12 +57,26 @@ bool IsSimplePath(const LabeledGraph& g) {
 }  // namespace
 
 Status TpstryPP::AddQuery(const LabeledGraph& q, double frequency,
-                          bool paths_only) {
+                          bool paths_only,
+                          std::vector<TpstryNodeId>* touched_out) {
   std::unordered_set<TpstryNodeId> touched;
   LOOM_RETURN_IF_ERROR(WeaveQuery(q, frequency, paths_only, &touched));
   for (const TpstryNodeId id : touched) nodes_[id].support += frequency;
   total_frequency_ += frequency;
+  if (touched_out != nullptr) {
+    touched_out->assign(touched.begin(), touched.end());
+    std::sort(touched_out->begin(), touched_out->end());
+  }
   return Status::OK();
+}
+
+void TpstryPP::ApplySupportDelta(const std::vector<TpstryNodeId>& nodes,
+                                 double delta) {
+  for (const TpstryNodeId id : nodes) {
+    assert(id < nodes_.size());
+    nodes_[id].support = std::max(0.0, nodes_[id].support + delta);
+  }
+  total_frequency_ = std::max(0.0, total_frequency_ + delta);
 }
 
 Status TpstryPP::RemoveQuery(const LabeledGraph& q, double frequency,

@@ -23,11 +23,12 @@
 #include <cstdint>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/result.h"
+#include "common/small_vector.h"
 #include "graph/graph.h"
 #include "motif/signature.h"
 
@@ -50,9 +51,9 @@ struct TpstryNode {
   /// `Normalize()` this is the p-value in [0, 1].
   double support = 0.0;
   /// Children: motifs formed by adding exactly one edge.
-  std::vector<TpstryNodeId> children;
+  SmallVector<TpstryNodeId, 4> children;
   /// Parents: motifs this one extends by one edge.
-  std::vector<TpstryNodeId> parents;
+  SmallVector<TpstryNodeId, 4> parents;
   size_t num_vertices = 0;
   size_t num_edges = 0;
 };
@@ -68,9 +69,13 @@ class TpstryPP {
   /// once per query, not once per embedding). Fails if `q` exceeds the
   /// small-query budgets. With `paths_only` the weave is restricted to
   /// simple-path motifs — the original TPSTry's expressiveness, kept as the
-  /// E8c ablation.
+  /// E8c ablation. When `touched_out` is non-null it receives the distinct
+  /// node ids this query contributed support to (sorted), which lets a
+  /// sliding-window caller expire the query later via `ApplySupportDelta`
+  /// without re-enumerating its sub-graphs (or retaining the graph at all).
   Status AddQuery(const LabeledGraph& q, double frequency,
-                  bool paths_only = false);
+                  bool paths_only = false,
+                  std::vector<TpstryNodeId>* touched_out = nullptr);
 
   /// Inverse of `AddQuery` for the same (q, frequency, paths_only) triple:
   /// subtracts the query's support contribution, enabling the sliding
@@ -80,6 +85,14 @@ class TpstryPP {
   /// the DAG structure is monotone.
   Status RemoveQuery(const LabeledGraph& q, double frequency,
                      bool paths_only = false);
+
+  /// Applies a signed support delta to exactly the given nodes (clamped at
+  /// zero, like `RemoveQuery`), and the same delta to the total frequency.
+  /// With the `touched_out` list captured at `AddQuery` time this is the
+  /// O(|touched|) inverse of that call — the weave enumeration is skipped
+  /// entirely, which is what makes the workload tracker's sliding window
+  /// cheap.
+  void ApplySupportDelta(const std::vector<TpstryNodeId>& nodes, double delta);
 
   /// Rescales supports so they sum the way p-values should: divides every
   /// node's support by the total frequency added so far. Call once after all
@@ -145,8 +158,8 @@ class TpstryPP {
   SignatureScheme scheme_;
   std::vector<TpstryNode> nodes_;
   /// Signature hash -> candidate node ids (collisions resolved by canonical).
-  std::unordered_map<uint64_t, std::vector<TpstryNodeId>> by_signature_;
-  std::unordered_map<Label, TpstryNodeId> roots_;
+  FlatMap<uint64_t, SmallVector<TpstryNodeId, 2>> by_signature_;
+  FlatMap<Label, TpstryNodeId> roots_;
   double total_frequency_ = 0.0;
   size_t max_motif_edges_ = 0;
 };

@@ -1,5 +1,7 @@
 #include "tpstry/workload_tracker.h"
 
+#include <utility>
+
 namespace loom {
 
 WorkloadTracker::WorkloadTracker(uint32_t num_labels,
@@ -9,12 +11,13 @@ WorkloadTracker::WorkloadTracker(uint32_t num_labels,
 }
 
 Status WorkloadTracker::Observe(const LabeledGraph& query) {
-  LOOM_RETURN_IF_ERROR(trie_.AddQuery(query, 1.0, options_.paths_only));
-  window_.push_back(query);
+  std::vector<TpstryNodeId> touched;
+  LOOM_RETURN_IF_ERROR(
+      trie_.AddQuery(query, 1.0, options_.paths_only, &touched));
+  window_.push_back(std::move(touched));
   ++num_observed_;
   while (window_.size() > options_.window_queries) {
-    LOOM_RETURN_IF_ERROR(
-        trie_.RemoveQuery(window_.front(), 1.0, options_.paths_only));
+    trie_.ApplySupportDelta(window_.front(), -1.0);
     window_.pop_front();
   }
   return Status::OK();

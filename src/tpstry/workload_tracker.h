@@ -9,9 +9,16 @@
 /// queries, so the motif supports follow workload drift; snapshots feed a
 /// (re)build of the LOOM partitioner's matcher (experiment E12 measures the
 /// value of refreshing).
+///
+/// The window does not buffer the query graphs themselves: per observed
+/// query it keeps only the trie nodes the query touched, so expiry is an
+/// O(|touched|) support subtraction instead of a full re-enumeration of the
+/// expiring query's sub-graphs (and the per-query copy of a `LabeledGraph`
+/// is gone).
 
 #include <cstdint>
 #include <deque>
+#include <vector>
 
 #include "common/status.h"
 #include "graph/graph.h"
@@ -54,7 +61,8 @@ class WorkloadTracker {
  private:
   WorkloadTrackerOptions options_;
   TpstryPP trie_;
-  std::deque<LabeledGraph> window_;
+  /// Per in-window query: the trie nodes it contributed support to.
+  std::deque<std::vector<TpstryNodeId>> window_;
   uint64_t num_observed_ = 0;
 };
 

@@ -233,11 +233,34 @@ TEST_F(BenchDriverTest, MicroJsonIsValidWithExpectedKeys) {
   const std::string text = ReadFileOrDie(*out_dir_ + "/BENCH_micro.json");
   ASSERT_FALSE(text.empty());
   EXPECT_TRUE(JsonChecker(text).Valid()) << text;
-  EXPECT_NE(text.find("\"schema\": \"loom-bench-micro-v1\""),
+  EXPECT_NE(text.find("\"schema\": \"loom-bench-micro-v2\""),
             std::string::npos);
   for (const char* key : {"\"name\"", "\"iterations\"", "\"seconds\"",
                           "\"ns_per_op\"", "\"ops_per_second\""}) {
     EXPECT_NE(text.find(key), std::string::npos) << "missing key " << key;
+  }
+  // The three hot-path loops the container overhaul is gated on.
+  for (const char* name : {"\"window_churn\"", "\"trie_signature_lookup\"",
+                           "\"signature_multiply_edge\""}) {
+    EXPECT_NE(text.find(name), std::string::npos) << "missing loop " << name;
+  }
+}
+
+TEST_F(BenchDriverTest, MicroJsonHasThroughputSection) {
+  const std::string text = ReadFileOrDie(*out_dir_ + "/BENCH_micro.json");
+  ASSERT_FALSE(text.empty());
+  EXPECT_NE(text.find("\"throughput\": ["), std::string::npos)
+      << "missing throughput section";
+  for (const char* key :
+       {"\"family\"", "\"vertices_per_second\"", "\"edges_per_second\"",
+        "\"num_vertices\"", "\"num_edges\""}) {
+    EXPECT_NE(text.find(key), std::string::npos)
+        << "missing throughput key " << key;
+  }
+  // The end-to-end pipeline (loom) plus the reference heuristics.
+  for (const char* p : {"\"hash\"", "\"ldg\"", "\"loom\""}) {
+    EXPECT_NE(text.find(p), std::string::npos)
+        << "missing throughput partitioner " << p;
   }
 }
 

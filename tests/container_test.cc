@@ -1,0 +1,274 @@
+// Randomized differential tests for the perf-primitives layer: FlatMap
+// against std::unordered_map and SmallVector against std::vector, driven by
+// the same operation streams, so any divergence in insert/erase/lookup/
+// iterate/rehash behaviour is caught directly.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/flat_map.h"
+#include "common/ring_buffer.h"
+#include "common/rng.h"
+#include "common/small_vector.h"
+
+namespace loom {
+namespace {
+
+// ---------------------------------------------------------------- FlatMap
+
+TEST(FlatMapTest, BasicInsertFindErase) {
+  FlatMap<uint32_t, std::string> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(7), m.end());
+  EXPECT_EQ(m.count(7), 0u);
+
+  EXPECT_TRUE(m.emplace(7, "seven").second);
+  EXPECT_FALSE(m.emplace(7, "other").second);
+  ASSERT_NE(m.find(7), m.end());
+  EXPECT_EQ(m.find(7)->second, "seven");
+  EXPECT_EQ(m.size(), 1u);
+
+  m[9] = "nine";
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m[9], "nine");
+
+  EXPECT_EQ(m.erase(7), 1u);
+  EXPECT_EQ(m.erase(7), 0u);
+  EXPECT_EQ(m.find(7), m.end());
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMapTest, EraseByIteratorAndClear) {
+  FlatMap<uint64_t, int> m;
+  for (uint64_t k = 0; k < 100; ++k) m.emplace(k, static_cast<int>(k));
+  const auto it = m.find(42);
+  ASSERT_NE(it, m.end());
+  m.erase(it);
+  EXPECT_EQ(m.count(42), 0u);
+  EXPECT_EQ(m.size(), 99u);
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(1), m.end());
+  // Reusable after clear.
+  m.emplace(1, 10);
+  EXPECT_EQ(m.find(1)->second, 10);
+}
+
+TEST(FlatMapTest, CopyAndMoveSemantics) {
+  FlatMap<uint32_t, std::vector<int>> m;
+  for (uint32_t k = 0; k < 50; ++k) m[k].push_back(static_cast<int>(k));
+
+  FlatMap<uint32_t, std::vector<int>> copy = m;
+  EXPECT_EQ(copy.size(), 50u);
+  EXPECT_EQ(copy.find(17)->second, std::vector<int>{17});
+
+  FlatMap<uint32_t, std::vector<int>> moved = std::move(m);
+  EXPECT_EQ(moved.size(), 50u);
+  EXPECT_EQ(moved.find(17)->second, std::vector<int>{17});
+
+  copy = moved;
+  EXPECT_EQ(copy.size(), 50u);
+}
+
+/// Adjacent-key clusters + erase: exactly the regime where tombstone schemes
+/// rot and backward-shift must keep every probe chain intact.
+TEST(FlatMapTest, BackwardShiftEraseKeepsChainsReachable) {
+  FlatMap<uint32_t, uint32_t> m;
+  // Insert clusters of keys, then erase every other one and verify the rest.
+  for (uint32_t k = 0; k < 512; ++k) m.emplace(k, k * 3);
+  for (uint32_t k = 0; k < 512; k += 2) EXPECT_EQ(m.erase(k), 1u);
+  for (uint32_t k = 0; k < 512; ++k) {
+    if (k % 2 == 0) {
+      EXPECT_EQ(m.count(k), 0u) << k;
+    } else {
+      ASSERT_NE(m.find(k), m.end()) << k;
+      EXPECT_EQ(m.find(k)->second, k * 3) << k;
+    }
+  }
+}
+
+TEST(FlatMapTest, RandomizedDifferentialAgainstUnorderedMap) {
+  Rng rng(12345);
+  FlatMap<uint64_t, uint64_t> flat;
+  std::unordered_map<uint64_t, uint64_t> ref;
+
+  for (int step = 0; step < 200000; ++step) {
+    const uint64_t key = rng() % 997;  // force collisions + reuse
+    const int op = static_cast<int>(rng() % 10);
+    if (op < 4) {  // insert (no overwrite)
+      const uint64_t value = rng();
+      const bool inserted_flat = flat.emplace(key, value).second;
+      const bool inserted_ref = ref.emplace(key, value).second;
+      EXPECT_EQ(inserted_flat, inserted_ref);
+    } else if (op < 6) {  // operator[] overwrite
+      const uint64_t value = rng();
+      flat[key] = value;
+      ref[key] = value;
+    } else if (op < 8) {  // erase
+      EXPECT_EQ(flat.erase(key), ref.erase(key));
+    } else {  // lookup
+      const auto fit = flat.find(key);
+      const auto rit = ref.find(key);
+      ASSERT_EQ(fit == flat.end(), rit == ref.end()) << key;
+      if (rit != ref.end()) {
+        EXPECT_EQ(fit->second, rit->second);
+      }
+    }
+    ASSERT_EQ(flat.size(), ref.size());
+  }
+
+  // Full-content comparison through iteration (order-insensitive).
+  std::map<uint64_t, uint64_t> from_flat;
+  for (const auto& [k, v] : flat) from_flat.emplace(k, v);
+  std::map<uint64_t, uint64_t> from_ref(ref.begin(), ref.end());
+  EXPECT_EQ(from_flat, from_ref);
+}
+
+TEST(FlatMapTest, GrowthKeepsEverythingThroughRehash) {
+  FlatMap<uint64_t, uint64_t> m;
+  constexpr uint64_t kCount = 100000;
+  for (uint64_t k = 0; k < kCount; ++k) m.emplace(k * 7919, k);
+  EXPECT_EQ(m.size(), kCount);
+  for (uint64_t k = 0; k < kCount; ++k) {
+    ASSERT_NE(m.find(k * 7919), m.end()) << k;
+    EXPECT_EQ(m.find(k * 7919)->second, k);
+  }
+}
+
+TEST(FlatMapTest, ReserveAvoidsRehash) {
+  FlatMap<uint32_t, uint32_t> m;
+  m.reserve(1000);
+  const size_t cap = m.capacity();
+  for (uint32_t k = 0; k < 1000; ++k) m.emplace(k, k);
+  EXPECT_EQ(m.capacity(), cap);
+}
+
+// ------------------------------------------------------------- SmallVector
+
+TEST(SmallVectorTest, InlineThenSpill) {
+  SmallVector<uint32_t, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), 4u);
+  for (uint32_t i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_EQ(v.capacity(), 4u);  // still inline
+  v.push_back(4);                // spills to heap
+  EXPECT_GT(v.capacity(), 4u);
+  ASSERT_EQ(v.size(), 5u);
+  for (uint32_t i = 0; i < 5; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVectorTest, InsertEraseAndComparisons) {
+  SmallVector<uint32_t, 4> v = {1, 3, 5};
+  v.insert(v.begin() + 1, 2);
+  EXPECT_EQ(v, (SmallVector<uint32_t, 4>{1, 2, 3, 5}));
+  v.insert(v.end(), 7);
+  EXPECT_EQ(v.back(), 7u);
+  v.erase(v.begin());
+  EXPECT_EQ(v.front(), 2u);
+  v.erase(v.begin() + 1, v.begin() + 3);
+  EXPECT_EQ(v, (SmallVector<uint32_t, 4>{2, 7}));
+  EXPECT_TRUE((SmallVector<uint32_t, 4>{1, 2}) <
+              (SmallVector<uint32_t, 4>{1, 3}));
+}
+
+TEST(SmallVectorTest, CopyMoveNonTrivialElements) {
+  SmallVector<std::string, 2> v;
+  v.push_back("alpha");
+  v.push_back("beta");
+  v.push_back("gamma");  // heap
+
+  SmallVector<std::string, 2> copy = v;
+  EXPECT_EQ(copy.size(), 3u);
+  EXPECT_EQ(copy[2], "gamma");
+
+  SmallVector<std::string, 2> moved = std::move(v);
+  EXPECT_EQ(moved.size(), 3u);
+  EXPECT_EQ(moved[0], "alpha");
+  EXPECT_TRUE(v.empty());  // NOLINT(bugprone-use-after-move): defined state
+
+  // Move of an inline vector moves the elements.
+  SmallVector<std::string, 4> inline_v;
+  inline_v.push_back("x");
+  SmallVector<std::string, 4> inline_moved = std::move(inline_v);
+  EXPECT_EQ(inline_moved[0], "x");
+}
+
+TEST(SmallVectorTest, RandomizedDifferentialAgainstStdVector) {
+  Rng rng(777);
+  SmallVector<uint64_t, 6> small;
+  std::vector<uint64_t> ref;
+
+  for (int step = 0; step < 100000; ++step) {
+    const int op = static_cast<int>(rng() % 10);
+    if (op < 4 || ref.empty()) {  // push_back
+      const uint64_t value = rng() % 1000;
+      small.push_back(value);
+      ref.push_back(value);
+    } else if (op < 6) {  // sorted-style insert at random position
+      const size_t pos = rng() % (ref.size() + 1);
+      const uint64_t value = rng() % 1000;
+      small.insert(small.begin() + pos, value);
+      ref.insert(ref.begin() + pos, value);
+    } else if (op < 8) {  // erase at random position
+      const size_t pos = rng() % ref.size();
+      small.erase(small.begin() + pos);
+      ref.erase(ref.begin() + pos);
+    } else if (op == 8) {  // pop_back
+      small.pop_back();
+      ref.pop_back();
+    } else if (ref.size() > 20) {  // occasional clear keeps sizes bounded
+      small.clear();
+      ref.clear();
+    }
+    ASSERT_EQ(small.size(), ref.size());
+    ASSERT_TRUE(std::equal(small.begin(), small.end(), ref.begin()));
+  }
+}
+
+TEST(SmallVectorTest, ResizeAndReserve) {
+  SmallVector<uint32_t, 3> v;
+  v.resize(10);
+  EXPECT_EQ(v.size(), 10u);
+  EXPECT_EQ(v[9], 0u);
+  v.resize(2);
+  EXPECT_EQ(v.size(), 2u);
+  v.reserve(100);
+  EXPECT_GE(v.capacity(), 100u);
+  const auto* data = v.data();
+  for (uint32_t i = 0; i < 90; ++i) v.push_back(i);
+  EXPECT_EQ(v.data(), data);  // no reallocation after reserve
+}
+
+// -------------------------------------------------------------- RingBuffer
+
+TEST(RingBufferTest, FifoAcrossWraparound) {
+  RingBuffer<uint32_t> q;
+  std::vector<uint32_t> ref;
+  Rng rng(9);
+  size_t next_push = 0;
+  size_t next_pop = 0;
+  for (int step = 0; step < 100000; ++step) {
+    if (q.empty() || rng() % 2 == 0) {
+      q.push_back(static_cast<uint32_t>(next_push++));
+    } else {
+      ASSERT_EQ(q.front(), next_pop);
+      q.pop_front();
+      ++next_pop;
+    }
+    ASSERT_EQ(q.size(), next_push - next_pop);
+  }
+  while (!q.empty()) {
+    ASSERT_EQ(q.front(), next_pop++);
+    q.pop_front();
+  }
+  EXPECT_EQ(next_pop, next_push);
+}
+
+}  // namespace
+}  // namespace loom

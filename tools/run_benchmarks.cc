@@ -1,9 +1,10 @@
 // run_benchmarks: machine-readable perf baseline driver.
 //
 // Runs a fast subset of the bench/ experiments (edge-cut quality across the
-// standard partitioner set, plus self-timed microbenchmarks of the hot
-// paths) and writes BENCH_edge_cut.json and BENCH_micro.json so successive
-// PRs can regress against a recorded trajectory.
+// standard partitioner set, self-timed microbenchmarks of the hot paths, and
+// the end-to-end streaming-throughput harness) and writes
+// BENCH_edge_cut.json and BENCH_micro.json so successive PRs can regress
+// against a recorded trajectory.
 //
 // Usage:
 //   run_benchmarks [--fast] [--full] [--out DIR]
@@ -15,106 +16,16 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
-#include "common/timer.h"
-#include "harness.h"
-#include "motif/canonical.h"
-#include "motif/signature.h"
-#include "partition/hash_partitioner.h"
-#include "partition/ldg_partitioner.h"
+#include "perf_report.h"
 #include "restream/restreamer.h"
-#include "stream/window.h"
-#include "workload/query_builders.h"
 
 namespace loom {
 namespace bench {
 namespace {
-
-// --------------------------------------------------------------------- JSON
-// Minimal emitter: enough for flat objects and arrays of flat objects.
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  for (const char c : s) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
-      out.push_back(c);
-    } else if (c == '\n') {
-      out += "\\n";
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-      out += buf;
-    } else {
-      out.push_back(c);
-    }
-  }
-  return out;
-}
-
-std::string JsonNumber(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.6g", v);
-  return buf;
-}
-
-struct JsonObject {
-  std::vector<std::string> fields;
-
-  void Add(const std::string& key, const std::string& value) {
-    fields.push_back("\"" + JsonEscape(key) + "\": \"" + JsonEscape(value) +
-                     "\"");
-  }
-  void Add(const std::string& key, double value) {
-    fields.push_back("\"" + JsonEscape(key) + "\": " + JsonNumber(value));
-  }
-  void Add(const std::string& key, uint64_t value) {
-    fields.push_back("\"" + JsonEscape(key) +
-                     "\": " + std::to_string(value));
-  }
-  void AddRaw(const std::string& key, const std::string& raw) {
-    fields.push_back("\"" + JsonEscape(key) + "\": " + raw);
-  }
-
-  std::string Render(int indent) const {
-    const std::string pad(indent, ' ');
-    std::string out = "{\n";
-    for (size_t i = 0; i < fields.size(); ++i) {
-      out += pad + "  " + fields[i];
-      if (i + 1 < fields.size()) out += ",";
-      out += "\n";
-    }
-    out += pad + "}";
-    return out;
-  }
-};
-
-std::string RenderArray(const std::vector<JsonObject>& items, int indent) {
-  const std::string pad(indent, ' ');
-  std::string out = "[\n";
-  for (size_t i = 0; i < items.size(); ++i) {
-    out += pad + "  " + items[i].Render(indent + 2);
-    if (i + 1 < items.size()) out += ",";
-    out += "\n";
-  }
-  out += pad + "]";
-  return out;
-}
-
-bool WriteFile(const std::string& path, const std::string& content) {
-  std::ofstream f(path, std::ios::trunc);
-  if (!f) {
-    std::cerr << "run_benchmarks: cannot open " << path << " for writing\n";
-    return false;
-  }
-  f << content << "\n";
-  return f.good();
-}
 
 // ----------------------------------------------------------------- edge cut
 
@@ -244,145 +155,6 @@ bool RunEdgeCutSection(const EdgeCutConfig& cfg, const std::string& mode,
   return WriteFile(path, root.Render(0));
 }
 
-// -------------------------------------------------------------------- micro
-// Self-timed hot-path loops mirroring bench_micro.cc, without the
-// google-benchmark dependency so the driver runs everywhere.
-
-struct MicroResult {
-  std::string name;
-  uint64_t iterations = 0;
-  uint64_t items = 0;  // work units processed (for throughput)
-  double seconds = 0.0;
-};
-
-template <typename Fn>
-MicroResult TimeLoop(const std::string& name, uint64_t iterations,
-                     uint64_t items_per_iteration, Fn&& fn) {
-  MicroResult r;
-  r.name = name;
-  r.iterations = iterations;
-  r.items = iterations * items_per_iteration;
-  WallTimer timer;
-  for (uint64_t i = 0; i < iterations; ++i) fn();
-  r.seconds = timer.ElapsedSeconds();
-  return r;
-}
-
-std::vector<MicroResult> RunMicroLoops(bool fast) {
-  std::vector<MicroResult> out;
-
-  {
-    const SignatureScheme scheme(8);
-    GraphSignature sig;
-    Label a = 0;
-    out.push_back(TimeLoop("signature_multiply_edge",
-                           fast ? 200000 : 2000000, 1, [&] {
-                             scheme.MultiplyEdge(&sig, a, (a + 3) % 8);
-                             a = (a + 1) % 8;
-                             if (sig.NumFactors() > 64) sig = GraphSignature();
-                           }));
-  }
-
-  {
-    const SignatureScheme scheme(4);
-    const GraphSignature small = scheme.SignatureOf(PaperQ2());
-    const GraphSignature big = scheme.SignatureOf(PaperFigure1Graph());
-    volatile bool sink = false;
-    out.push_back(TimeLoop("signature_divides", fast ? 100000 : 1000000, 1,
-                           [&] { sink = small.Divides(big); }));
-    (void)sink;
-  }
-
-  {
-    const LabeledGraph q = PaperQ1();
-    out.push_back(TimeLoop("canonical_form_small_motif", fast ? 5000 : 50000,
-                           1, [&] {
-                             auto c = CanonicalForm(q);
-                             (void)c;
-                           }));
-  }
-
-  {
-    const Workload w = PaperFigure1Workload();
-    auto trie = BuildTrie(w);
-    const GraphSignature sig = (*trie)->scheme().SignatureOf(PaperQ2());
-    out.push_back(TimeLoop("trie_signature_lookup", fast ? 100000 : 1000000,
-                           1, [&] {
-                             auto hits = (*trie)->FindBySignature(sig);
-                             (void)hits;
-                           }));
-  }
-
-  {
-    const uint32_t n = fast ? 5000 : 20000;
-    Rng rng(1);
-    const LabeledGraph g = BarabasiAlbert(n, 4, LabelConfig{4, 0.0}, rng);
-    const GraphStream stream = MakeStream(g, StreamOrder::kRandom, rng);
-    const uint64_t reps = fast ? 3 : 10;
-    out.push_back(TimeLoop("ldg_placement", reps, g.NumVertices(), [&] {
-      PartitionerOptions o;
-      o.k = 16;
-      o.num_vertices_hint = g.NumVertices();
-      LdgPartitioner p(o);
-      p.Run(stream);
-    }));
-    out.push_back(TimeLoop("hash_placement", reps, g.NumVertices(), [&] {
-      PartitionerOptions o;
-      o.k = 16;
-      o.num_vertices_hint = g.NumVertices();
-      HashPartitioner p(o);
-      p.Run(stream);
-    }));
-  }
-
-  {
-    const uint64_t churn = 4096;
-    out.push_back(TimeLoop("window_churn", fast ? 50 : 500, churn, [&] {
-      StreamWindow w(256);
-      for (VertexId v = 0; v < churn; ++v) {
-        if (w.Full()) w.PopOldest();
-        w.Push(v, v % 4,
-               v > 0 ? std::vector<VertexId>{v - 1} : std::vector<VertexId>{});
-      }
-    }));
-  }
-
-  return out;
-}
-
-bool RunMicroSection(bool fast, const std::string& mode,
-                     const std::string& path) {
-  const std::vector<MicroResult> results = RunMicroLoops(fast);
-  std::vector<JsonObject> rows;
-  for (const MicroResult& r : results) {
-    if (r.iterations == 0 || r.seconds < 0) {
-      std::cerr << "run_benchmarks: micro loop " << r.name << " is invalid\n";
-      return false;
-    }
-    JsonObject row;
-    row.Add("name", r.name);
-    row.Add("iterations", r.iterations);
-    row.Add("seconds", r.seconds);
-    const double per_op =
-        r.seconds / static_cast<double>(r.iterations) * 1e9;
-    row.Add("ns_per_op", per_op);
-    const double ops =
-        r.seconds > 0 ? static_cast<double>(r.items) / r.seconds : 0;
-    row.Add("ops_per_second", ops);
-    rows.push_back(std::move(row));
-  }
-  if (rows.empty()) {
-    std::cerr << "run_benchmarks: micro section produced no rows\n";
-    return false;
-  }
-
-  JsonObject root;
-  root.Add("schema", std::string("loom-bench-micro-v1"));
-  root.Add("mode", mode);
-  root.AddRaw("results", RenderArray(rows, 2));
-  return WriteFile(path, root.Render(0));
-}
-
 // --------------------------------------------------------------------- main
 
 int Main(int argc, char** argv) {
@@ -434,7 +206,12 @@ int Main(int argc, char** argv) {
   if (!RunEdgeCutSection(cfg, mode, edge_cut_tmp)) return fail();
 
   std::cout << "run_benchmarks: micro section (" << mode << ") ...\n";
-  if (!RunMicroSection(fast, mode, micro_tmp)) return fail();
+  const std::vector<MicroResult> micro = RunMicroLoops(fast);
+
+  std::cout << "run_benchmarks: throughput section (" << mode << ") ...\n";
+  const std::vector<ThroughputRow> throughput = RunThroughput(fast);
+
+  if (!WriteMicroReport(micro_tmp, mode, micro, throughput)) return fail();
 
   if (std::rename(edge_cut_tmp.c_str(), edge_cut_path.c_str()) != 0) {
     std::cerr << "run_benchmarks: failed to move outputs into place\n";
