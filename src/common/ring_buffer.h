@@ -8,7 +8,10 @@
 /// and frees fixed-size blocks as the window churns, while the ring buffer
 /// reaches steady state after one allocation and then never touches the
 /// allocator again. Only the queue operations the window needs: push_back,
-/// front, pop_front.
+/// front, pop_front — all O(1), with push_back amortised O(1) across
+/// capacity doublings. Invalidation: a push_back that grows the array
+/// invalidates every reference into the buffer (like vector, unlike deque);
+/// pop_front never does.
 
 #include <cassert>
 #include <cstddef>

@@ -1,6 +1,7 @@
 #include "core/loom_partitioner.h"
 
 #include <algorithm>
+#include <cassert>
 #include <deque>
 #include <unordered_set>
 
@@ -14,17 +15,30 @@ LoomPartitioner::LoomPartitioner(const LoomOptions& options,
       matcher_(trie, options.matcher),
       scores_(options.partitioner.k, 0.0),
       trie_(trie) {
-  if (loom_options_.use_traversal_weights) {
-    // The traversal probability of an edge with labels (a, b) is the
-    // p-value of the corresponding one-edge motif (§5 future work).
-    for (TpstryNodeId id = 0; id < trie_->NumNodes(); ++id) {
-      const TpstryNode& node = trie_->node(id);
-      if (node.num_edges != 1) continue;
-      const Label a = node.motif.LabelOf(0);
-      const Label b = node.motif.LabelOf(1);
-      edge_weight_[trie_->scheme().EdgeFactor(a, b)] = node.support;
-    }
+  RebuildEdgeWeights();
+}
+
+void LoomPartitioner::RebuildEdgeWeights() {
+  edge_weight_.clear();
+  if (!loom_options_.use_traversal_weights) return;
+  // The traversal probability of an edge with labels (a, b) is the
+  // p-value of the corresponding one-edge motif (§5 future work).
+  for (TpstryNodeId id = 0; id < trie_->NumNodes(); ++id) {
+    const TpstryNode& node = trie_->node(id);
+    if (node.num_edges != 1) continue;
+    const Label a = node.motif.LabelOf(0);
+    const Label b = node.motif.LabelOf(1);
+    edge_weight_[trie_->scheme().EdgeFactor(a, b)] = node.support;
   }
+}
+
+void LoomPartitioner::SetTrie(const TpstryPP* trie) {
+  assert(window_.Empty() && "SetTrie must be called between passes");
+  trie_ = trie;
+  // The matcher holds a pointer to the trie: rebuild it now so nothing
+  // references the old summary after this call returns.
+  matcher_ = StreamMatcher(trie_, loom_options_.matcher);
+  RebuildEdgeWeights();
 }
 
 void LoomPartitioner::OnVertex(VertexId v, Label label,

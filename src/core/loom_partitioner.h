@@ -48,10 +48,24 @@ class LoomPartitioner : public StreamingPartitioner {
 
   std::string Name() const override { return "loom"; }
 
+  /// Drift reaction hook: re-points the partitioner at a new workload
+  /// summary (e.g. a `WorkloadTracker::Snapshot()` taken after drift), so
+  /// the next pass re-scores motif clusters against the *drifted* trie —
+  /// matcher and traversal edge-weights are rebuilt here. Call between
+  /// passes only (the window must be empty; an in-flight window would mix
+  /// closures from two summaries); `trie` must outlive the partitioner.
+  void SetTrie(const TpstryPP* trie);
+
+  const TpstryPP* trie() const { return trie_; }
+
   const LoomStats& loom_stats() const { return loom_stats_; }
   const StreamMatcherStats& matcher_stats() const { return matcher_.stats(); }
 
  private:
+  /// Re-derives the per-label-pair traversal weights from `trie_` (no-op
+  /// unless traversal weighting is enabled).
+  void RebuildEdgeWeights();
+
   /// Assigns the oldest window member (with its motif closure, if any).
   void EvictOldest();
 

@@ -1,0 +1,108 @@
+#include "drift/drift_controller.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/timer.h"
+#include "metrics/metrics.h"
+
+namespace loom {
+
+DriftController::DriftController(const DriftControllerOptions& options)
+    : options_(options), detector_(options.detector) {
+  if (options_.reaction_passes == 0) options_.reaction_passes = 1;
+}
+
+void DriftController::SetReference(MotifDistribution reference,
+                                   double baseline_edge_cut) {
+  detector_.SetReference(std::move(reference));
+  if (baseline_edge_cut >= 0.0) {
+    detector_.SetBaselineEdgeCut(baseline_edge_cut);
+  }
+}
+
+DriftSignal DriftController::Check(const MotifDistribution& current,
+                                   double observed_edge_cut) {
+  return detector_.Observe(current, observed_edge_cut);
+}
+
+DriftReaction DriftController::React(const GraphStream& stream,
+                                     StreamingPartitioner* partitioner,
+                                     MotifDistribution rebase_to) {
+  DriftReaction reaction;
+  reaction.reacted = true;
+  WallTimer timer;
+
+  // Note: the budget is passed to each pass explicitly (RunIncrementalPass's
+  // max_moves), not via RestreamOptions::max_migration_fraction — the
+  // remaining allowance shrinks as passes spend it.
+  RestreamOptions ropts;
+  ropts.order = options_.order;
+  ropts.seed = options_.seed;
+  const Restreamer restreamer(stream, ropts);
+
+  // The live assignment: migration is capped against it, and keep-best
+  // adoption never publishes anything worse than it.
+  const PartitionAssignment original = partitioner->assignment();
+  reaction.edge_cut_before =
+      EdgeCutFraction(restreamer.graph(), original);
+  const uint64_t total_moves =
+      MigrationBudgetMoves(original, options_.max_migration_fraction);
+
+  PartitionAssignment prior = original;
+  reaction.assignment = original;
+  double best_cut = reaction.edge_cut_before;
+
+  for (uint32_t pass = 1; pass <= options_.reaction_passes; ++pass) {
+    // Budget what is left after the moves the chosen prior already carries:
+    // moves(original -> result) <= moves(original -> prior) + this pass's
+    // budget, so every pass result respects the cumulative cap.
+    uint64_t remaining = total_moves;
+    if (total_moves != Restreamer::kUnlimitedMoves) {
+      const size_t spent = ComputeMigration(original, prior).moved;
+      remaining = total_moves > spent ? total_moves - spent : 0;
+      if (pass > 1 && remaining == 0) break;
+    }
+
+    RestreamPassStats stats =
+        restreamer.RunIncrementalPass(partitioner, prior, remaining);
+    stats.pass = pass;
+    const bool improved = stats.edge_cut_fraction < best_cut;
+    if (improved) {
+      best_cut = stats.edge_cut_fraction;
+      reaction.assignment = partitioner->assignment();
+    }
+    stats.best_edge_cut_fraction = best_cut;
+    reaction.passes.push_back(stats);
+    // Keep-best prior, mirroring Restreamer::Run's anytime semantics. A
+    // non-improving pass under a deterministic ordering would replay the
+    // same prior to the same result — stop instead.
+    prior = reaction.assignment;
+    if (!improved && options_.order != RestreamOrder::kRandom) break;
+  }
+
+  reaction.edge_cut_after = best_cut;
+  reaction.migration_fraction =
+      MigrationFraction(original, reaction.assignment);
+  reaction.seconds = timer.ElapsedSeconds();
+
+  detector_.Rebase(std::move(rebase_to), best_cut);
+  ++num_reactions_;
+  return reaction;
+}
+
+DriftReaction DriftController::MaybeRepartition(
+    const MotifDistribution& current, const GraphStream& stream,
+    StreamingPartitioner* partitioner, double observed_edge_cut) {
+  const DriftSignal signal = Check(current, observed_edge_cut);
+  if (!signal.fired) {
+    DriftReaction reaction;
+    reaction.signal = signal;
+    return reaction;
+  }
+  DriftReaction reaction = React(stream, partitioner, current);
+  reaction.signal = signal;
+  return reaction;
+}
+
+}  // namespace loom

@@ -1,0 +1,123 @@
+#ifndef LOOM_DRIFT_DRIFT_CONTROLLER_H_
+#define LOOM_DRIFT_DRIFT_CONTROLLER_H_
+
+/// \file
+/// Drift reaction: the controller that closes the loop between the workload
+/// layer (`WorkloadTracker` snapshots) and the restream layer. When the
+/// `DriftDetector` confirms drift, the controller runs a *bounded-migration*
+/// incremental re-partition — `Restreamer::RunIncrementalPass` with the
+/// **live assignment as the prior** — instead of a cold multi-pass
+/// restream: gain-prioritized (decisiveness) ordering spends the migration
+/// budget on the highest-value moves first, the budget caps the cumulative
+/// `MigrationFraction` against the pre-reaction assignment, and the result
+/// is adopted keep-best (a reaction never publishes a worse cut than the
+/// assignment it started from). After reacting, the detector is rebased
+/// onto the drifted distribution so the loop re-arms.
+///
+/// Contract: `React` mutates the partitioner (it ends holding the *last*
+/// pass's assignment, which may differ from the adopted keep-best one in
+/// `DriftReaction::assignment`); the recorded stream must stay alive for
+/// the duration of the call. Cost: one `Restreamer` construction
+/// (adjacency rebuild, O(V + E)) plus `reaction_passes` budgeted passes.
+
+#include <cstdint>
+#include <vector>
+
+#include "drift/drift_detector.h"
+#include "partition/partitioner.h"
+#include "restream/restreamer.h"
+#include "stream/stream.h"
+#include "tpstry/workload_tracker.h"
+
+namespace loom {
+
+/// Reaction policy knobs.
+struct DriftControllerOptions {
+  DriftDetectorOptions detector;
+  /// Cumulative migration cap of one reaction, as a fraction of the
+  /// vertices assigned in the pre-reaction (live) assignment. All reaction
+  /// passes together stay under this cap (see React).
+  double max_migration_fraction = 0.25;
+  /// Inter-pass ordering of the budgeted passes. Decisiveness ordering
+  /// (descending |gain|) is what makes a small budget effective: strong
+  /// stayers anchor their neighbourhoods early, strong movers spend the
+  /// budget on the highest-value moves first, and the ambivalent tail —
+  /// which plain kGain would let drain the budget — streams last.
+  RestreamOrder order = RestreamOrder::kDecisive;
+  /// Budgeted passes per reaction. The second pass typically converts the
+  /// remaining budget into another point of cut at much lower migration.
+  uint32_t reaction_passes = 2;
+  /// Seed for the replay orderings.
+  uint64_t seed = 42;
+};
+
+/// What a reaction did.
+struct DriftReaction {
+  /// False when returned by a check that did not fire (MaybeRepartition).
+  bool reacted = false;
+  /// The detector evidence that triggered (or declined to trigger).
+  DriftSignal signal;
+  /// Stats of each budgeted pass, renumbered 1..n; migration_fraction in
+  /// each is measured against that pass's prior, while
+  /// `migration_fraction` below is cumulative vs. the pre-reaction
+  /// assignment (the number the budget caps).
+  std::vector<RestreamPassStats> passes;
+  /// The adopted assignment: best cut over {pre-reaction, every pass}.
+  PartitionAssignment assignment{1, 0};
+  double edge_cut_before = 0.0;
+  double edge_cut_after = 0.0;
+  /// Cumulative migration of the adopted assignment vs. the pre-reaction
+  /// one; <= max_migration_fraction up to capacity-pressure overshoot
+  /// (which the pass stats' overflow/forced counters expose).
+  double migration_fraction = 0.0;
+  /// End-to-end reaction latency: adjacency rebuild + all passes + metric
+  /// evaluation.
+  double seconds = 0.0;
+};
+
+/// Wires DriftDetector verdicts to bounded-migration restream reactions.
+class DriftController {
+ public:
+  explicit DriftController(const DriftControllerOptions& options);
+
+  /// Installs the workload expectation the live assignment was built for
+  /// (reference distribution + optional cut baseline for the degradation
+  /// trigger).
+  void SetReference(MotifDistribution reference,
+                    double baseline_edge_cut = -1.0);
+
+  /// Detector tick without a reaction: lets callers that must prepare for a
+  /// reaction (e.g. swap the LOOM partitioner onto the drifted trie via
+  /// `LoomPartitioner::SetTrie`) split detection from reaction. Check, then
+  /// on `fired` prepare and call React.
+  DriftSignal Check(const MotifDistribution& current,
+                    double observed_edge_cut = -1.0);
+
+  /// Runs the bounded-migration reaction against `partitioner`'s current
+  /// (live) assignment and rebases the detector onto `rebase_to`. The
+  /// stream must be the recorded stream the live assignment was built from
+  /// (the replay source).
+  DriftReaction React(const GraphStream& stream,
+                      StreamingPartitioner* partitioner,
+                      MotifDistribution rebase_to);
+
+  /// Check + React in one call, for callers whose partitioner needs no
+  /// preparation (ldg/fennel, or LOOM kept on a fixed trie).
+  DriftReaction MaybeRepartition(const MotifDistribution& current,
+                                 const GraphStream& stream,
+                                 StreamingPartitioner* partitioner,
+                                 double observed_edge_cut = -1.0);
+
+  const DriftDetector& detector() const { return detector_; }
+  uint64_t NumReactions() const { return num_reactions_; }
+  const DriftControllerOptions& options() const { return options_; }
+
+ private:
+  DriftControllerOptions options_;
+  DriftDetector detector_;
+  uint64_t num_reactions_ = 0;
+};
+
+}  // namespace loom
+
+#endif  // LOOM_DRIFT_DRIFT_CONTROLLER_H_

@@ -1,0 +1,118 @@
+#include "drift/drift_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace loom {
+
+namespace {
+
+// Merge-walks two hash-sorted distributions, handing each motif class's
+// (p, q) pair — absent side as 0 — to `visit`.
+template <typename Visit>
+void MergeWalk(const MotifDistribution& p, const MotifDistribution& q,
+               Visit visit) {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < p.size() || j < q.size()) {
+    if (j >= q.size() ||
+        (i < p.size() && p[i].canonical_hash < q[j].canonical_hash)) {
+      visit(p[i].probability, 0.0);
+      ++i;
+    } else if (i >= p.size() || q[j].canonical_hash < p[i].canonical_hash) {
+      visit(0.0, q[j].probability);
+      ++j;
+    } else {
+      visit(p[i].probability, q[j].probability);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+}  // namespace
+
+double L1Distance(const MotifDistribution& p, const MotifDistribution& q) {
+  if (p.empty() && q.empty()) return 0.0;
+  if (p.empty() || q.empty()) return 1.0;
+  double sum = 0.0;
+  MergeWalk(p, q, [&sum](double a, double b) { sum += std::fabs(a - b); });
+  return std::min(1.0, 0.5 * sum);
+}
+
+double JensenShannonDistance(const MotifDistribution& p,
+                             const MotifDistribution& q) {
+  if (p.empty() && q.empty()) return 0.0;
+  if (p.empty() || q.empty()) return 1.0;
+  double divergence = 0.0;
+  MergeWalk(p, q, [&divergence](double a, double b) {
+    const double m = 0.5 * (a + b);
+    if (a > 0.0) divergence += 0.5 * a * std::log2(a / m);
+    if (b > 0.0) divergence += 0.5 * b * std::log2(b / m);
+  });
+  // Fully disjoint supports give divergence exactly 1 bit; clamp the tiny
+  // floating-point overshoot so the distance stays in [0, 1].
+  return std::sqrt(std::min(1.0, std::max(0.0, divergence)));
+}
+
+DriftDetector::DriftDetector(const DriftDetectorOptions& options)
+    : options_(options) {
+  if (options_.clear_threshold > options_.fire_threshold) {
+    options_.clear_threshold = options_.fire_threshold;
+  }
+  if (options_.min_consecutive == 0) options_.min_consecutive = 1;
+}
+
+void DriftDetector::SetReference(MotifDistribution reference) {
+  reference_ = std::move(reference);
+  armed_ = true;
+  streak_ = 0;
+}
+
+void DriftDetector::SetBaselineEdgeCut(double edge_cut_fraction) {
+  baseline_edge_cut_ = edge_cut_fraction;
+}
+
+DriftSignal DriftDetector::Observe(const MotifDistribution& current,
+                                   double observed_edge_cut) {
+  DriftSignal signal;
+  signal.l1 = L1Distance(reference_, current);
+  signal.js = JensenShannonDistance(reference_, current);
+  signal.distance =
+      options_.metric == DriftMetric::kL1 ? signal.l1 : signal.js;
+  signal.workload_drifted = signal.distance >= options_.fire_threshold;
+  if (observed_edge_cut >= 0.0 && baseline_edge_cut_ > 0.0 &&
+      options_.cut_degradation_factor > 0.0) {
+    signal.cut_ratio = observed_edge_cut / baseline_edge_cut_;
+    signal.cut_degraded =
+        signal.cut_ratio >= options_.cut_degradation_factor;
+  }
+
+  const bool over = signal.workload_drifted || signal.cut_degraded;
+  if (!armed_) {
+    // Fired and not yet rebased: re-arm only once the signal has clearly
+    // subsided, so a workload hovering around the fire threshold cannot
+    // trigger a reaction per tick.
+    if (signal.distance <= options_.clear_threshold && !signal.cut_degraded) {
+      armed_ = true;
+    }
+  } else if (over) {
+    if (++streak_ >= options_.min_consecutive) {
+      signal.fired = true;
+      ++num_fired_;
+      armed_ = false;
+      streak_ = 0;
+    }
+  } else {
+    streak_ = 0;
+  }
+  return signal;
+}
+
+void DriftDetector::Rebase(MotifDistribution reference,
+                           double edge_cut_fraction) {
+  SetReference(std::move(reference));
+  if (edge_cut_fraction >= 0.0) baseline_edge_cut_ = edge_cut_fraction;
+}
+
+}  // namespace loom

@@ -34,21 +34,26 @@ bool AllAssigned(const LabeledGraph& g, const PartitionAssignment& a) {
   return true;
 }
 
-double MigrationFraction(const PartitionAssignment& prev,
-                         const PartitionAssignment& next) {
-  size_t comparable = 0;
-  size_t moved = 0;
+MigrationStats ComputeMigration(const PartitionAssignment& prev,
+                                const PartitionAssignment& next) {
+  MigrationStats out;
   const size_t bound = std::min(prev.IdBound(), next.IdBound());
   for (VertexId v = 0; v < bound; ++v) {
     const int32_t np = next.PartOf(v);
     if (np < 0) continue;
     const int32_t pp = prev.PartOf(v);
     if (pp < 0) continue;
-    ++comparable;
-    if (np != pp) ++moved;
+    ++out.comparable;
+    if (np != pp) ++out.moved;
   }
-  if (comparable == 0) return 0.0;
-  return static_cast<double>(moved) / static_cast<double>(comparable);
+  return out;
+}
+
+double MigrationFraction(const PartitionAssignment& prev,
+                         const PartitionAssignment& next) {
+  const MigrationStats m = ComputeMigration(prev, next);
+  if (m.comparable == 0) return 0.0;
+  return static_cast<double>(m.moved) / static_cast<double>(m.comparable);
 }
 
 std::string SizesToString(const PartitionAssignment& a) {

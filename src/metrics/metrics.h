@@ -27,6 +27,22 @@ double BalanceMaxOverAvg(const PartitionAssignment& a);
 /// True iff every vertex of `g` is assigned.
 bool AllAssigned(const LabeledGraph& g, const PartitionAssignment& a);
 
+/// Raw migration accounting between two assignments.
+struct MigrationStats {
+  /// Vertices assigned in both `prev` and `next`.
+  size_t comparable = 0;
+  /// Comparable vertices whose partition differs — each one is data moved
+  /// between machines.
+  size_t moved = 0;
+};
+
+/// Counts the vertices a re-partition would move: the integer form behind
+/// `MigrationFraction`, exposed so budgeted passes can do exact move
+/// arithmetic (a drift reaction's remaining budget is total allowed moves
+/// minus `moved` so far — fractions would compound rounding error).
+MigrationStats ComputeMigration(const PartitionAssignment& prev,
+                                const PartitionAssignment& next);
+
 /// Restreaming migration cost: the fraction of vertices assigned in both
 /// `prev` and `next` whose partition changed between the two passes. Every
 /// migrated vertex is data moved between machines, so restreaming trades

@@ -15,6 +15,15 @@ size_t ComputeCapacity(uint32_t k, size_t num_vertices, double slack) {
 
 void StreamingPartitioner::Run(const GraphStream& stream) {
   for (const VertexArrival& arrival : stream.arrivals()) {
+    if (MigrationBudgetExhausted()) {
+      // Every further placement is clamped to the prior partition anyway;
+      // skip scoring (and any window/matcher work) for the rest of the pass.
+      const int32_t home = prior_->PartOf(arrival.vertex);
+      if (home >= 0) {
+        AssignOrFallback(arrival.vertex, static_cast<uint32_t>(home));
+        continue;
+      }
+    }
     OnVertex(arrival.vertex, arrival.label, arrival.back_edges);
   }
   Finish();
@@ -32,33 +41,83 @@ void StreamingPartitioner::BeginPass(const PartitionAssignment* prior) {
                                   options_.capacity_slack));
   stats_ = PartitionerStats();
   prior_ = prior;
+  migration_budget_ = kUnlimitedMigrationBudget;
+  home_claims_.clear();
+}
+
+void StreamingPartitioner::SetMigrationBudget(uint64_t max_moves) {
+  migration_budget_ = max_moves;
+  home_claims_.clear();
+  if (prior_ != nullptr && max_moves != kUnlimitedMigrationBudget) {
+    home_claims_.assign(prior_->Sizes().begin(), prior_->Sizes().end());
+  }
 }
 
 void StreamingPartitioner::AssignOrFallback(VertexId v, uint32_t part) {
+  const int32_t home = prior_ != nullptr ? prior_->PartOf(v) : -1;
+  const bool budgeted =
+      home >= 0 && migration_budget_ != kUnlimitedMigrationBudget;
+  if (budgeted) {
+    const uint32_t h = static_cast<uint32_t>(home);
+    if (part >= assignment_.k()) {
+      // Heuristic found no eligible partition: in a budgeted pass the
+      // natural fallback is the vertex's reserved home slot.
+      ++stats_.overflow_fallbacks;
+      part = h;
+    } else if (part != h) {
+      // A move must fit the budget AND leave the target partition enough
+      // free capacity for its outstanding home claims; otherwise every
+      // stayer's guaranteed slot (the induction behind the strict cap)
+      // would erode. FreeCapacity is SIZE_MAX when unconstrained, which
+      // never denies.
+      bool deny = stats_.prior_moves >= migration_budget_;
+      if (!deny && assignment_.FreeCapacity(part) <= home_claims_[part]) {
+        deny = true;
+      }
+      if (deny) {
+        ++stats_.budget_denied_moves;
+        part = h;
+      }
+    }
+  }
+
+  uint32_t placed = part;
+  bool assigned = false;
   if (part < assignment_.k()) {
     const Status s = assignment_.Assign(v, part);
-    if (s.ok()) return;
-    if (s.code() != StatusCode::kCapacityExceeded) {
+    if (s.ok()) {
+      assigned = true;
+    } else if (s.code() != StatusCode::kCapacityExceeded) {
       ++stats_.assign_errors;
       assert(false && "non-capacity Assign error in streaming partitioner");
       return;
     }
   }
-  // No eligible partition (or the chosen one filled up between scoring and
-  // assignment): most free capacity wins, least loaded on ties.
-  ++stats_.overflow_fallbacks;
-  const uint32_t fallback = assignment_.MostFreePartition();
-  Status s = assignment_.Assign(v, fallback);
-  if (s.ok()) return;
-  if (s.code() == StatusCode::kCapacityExceeded) {
-    // Every partition is at C: the stream exceeds k*C vertices. Stretch the
-    // bound rather than dropping the vertex.
-    ++stats_.forced_placements;
-    s = assignment_.ForceAssign(v, fallback);
+  if (!assigned) {
+    // No eligible partition (or the chosen one filled up between scoring and
+    // assignment): most free capacity wins, least loaded on ties.
+    ++stats_.overflow_fallbacks;
+    const uint32_t fallback = assignment_.MostFreePartition();
+    Status s = assignment_.Assign(v, fallback);
+    if (!s.ok() && s.code() == StatusCode::kCapacityExceeded) {
+      // Every partition is at C: the stream exceeds k*C vertices. Stretch
+      // the bound rather than dropping the vertex.
+      ++stats_.forced_placements;
+      s = assignment_.ForceAssign(v, fallback);
+    }
+    if (!s.ok()) {
+      ++stats_.assign_errors;
+      assert(false && "unrecoverable Assign error in streaming partitioner");
+      return;
+    }
+    placed = fallback;
   }
-  if (!s.ok()) {
-    ++stats_.assign_errors;
-    assert(false && "unrecoverable Assign error in streaming partitioner");
+  if (home >= 0) {
+    if (placed != static_cast<uint32_t>(home)) ++stats_.prior_moves;
+    // Either way the vertex's home claim is settled.
+    if (budgeted && home_claims_[static_cast<uint32_t>(home)] > 0) {
+      --home_claims_[static_cast<uint32_t>(home)];
+    }
   }
 }
 

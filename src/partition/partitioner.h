@@ -51,6 +51,16 @@ struct PartitionerStats {
   /// bad index). Always a partitioner logic error; surfaced here so Release
   /// builds report it instead of silently discarding the Status.
   uint64_t assign_errors = 0;
+  /// Restream passes only: placements that landed on a different partition
+  /// than the prior pass assigned — the pass's migration count, maintained
+  /// live so a migration budget can be enforced mid-stream.
+  uint64_t prior_moves = 0;
+  /// Budgeted restream passes only: would-be moves clamped back to the
+  /// vertex's prior partition — either because the migration budget was
+  /// already spent, or because the move target's free capacity was fully
+  /// reserved for its not-yet-replayed prior members (the home-slot
+  /// reservation that keeps the budget strict).
+  uint64_t budget_denied_moves = 0;
 };
 
 /// Base class for streaming partitioners.
@@ -77,7 +87,11 @@ class StreamingPartitioner {
   /// Partitioner name for result tables.
   virtual std::string Name() const = 0;
 
-  /// Feeds the whole stream and finishes.
+  /// Feeds the whole stream and finishes. Early-stop: once a migration
+  /// budget is exhausted mid-pass, the remaining arrivals bypass OnVertex
+  /// scoring entirely and are placed straight onto their prior partition —
+  /// the budget forces that outcome anyway, so the tail of a budgeted pass
+  /// costs one table lookup per vertex instead of a full scoring round.
   void Run(const GraphStream& stream);
 
   /// Restreaming hook (ReLDG/ReFennel semantics): discards this partitioner's
@@ -96,6 +110,30 @@ class StreamingPartitioner {
 
   /// True while a restream pass (BeginPass with a non-null prior) is active.
   bool HasPrior() const { return prior_ != nullptr; }
+
+  /// `max_moves` value meaning "no migration budget" (the default).
+  static constexpr uint64_t kUnlimitedMigrationBudget = ~uint64_t{0};
+
+  /// Bounded-migration restream (drift reaction): caps the number of
+  /// placements this pass that may differ from the prior's partition. Once
+  /// `stats().prior_moves` reaches the budget, every further placement is
+  /// clamped back to the vertex's prior partition. The clamp is backed by
+  /// *home-slot reservation*: while the budget is finite, a vertex may only
+  /// move into a partition whose free capacity exceeds the outstanding home
+  /// claims of its not-yet-replayed prior members, so every stayer keeps a
+  /// guaranteed slot, the clamp never overflows, and the cap is strict —
+  /// provided the replay covers the prior's vertex set (a restream replay
+  /// does; vertices absent from the prior bypass the reservation). Reset to
+  /// unlimited by BeginPass; call after BeginPass, before streaming. No
+  /// effect without a prior.
+  void SetMigrationBudget(uint64_t max_moves);
+
+  /// True when a prior is installed and the migration budget is spent: every
+  /// remaining placement will be clamped to its prior partition, so drivers
+  /// may skip scoring for the rest of the pass (see Run's early-stop).
+  bool MigrationBudgetExhausted() const {
+    return prior_ != nullptr && stats_.prior_moves >= migration_budget_;
+  }
 
   /// Drops the restream prior without touching the current assignment (for
   /// drivers whose prior storage goes out of scope after the run).
@@ -121,6 +159,11 @@ class StreamingPartitioner {
   PartitionerStats stats_;
   /// Previous restream pass's assignment (not owned); null in pass one.
   const PartitionAssignment* prior_ = nullptr;
+  /// Max placements allowed to leave their prior partition this pass.
+  uint64_t migration_budget_ = kUnlimitedMigrationBudget;
+  /// Budgeted passes only: per partition, prior members not yet placed this
+  /// pass — the home claims the reservation rule protects.
+  std::vector<uint32_t> home_claims_;
 };
 
 /// Shared LDG placement rule (§4.1): pick argmax_i |edges_i| * (1 - |Vi|/C)

@@ -18,8 +18,18 @@ std::string RestreamOrderName(RestreamOrder order) {
       return "gain";
     case RestreamOrder::kAmbivalence:
       return "ambivalence";
+    case RestreamOrder::kDecisive:
+      return "decisive";
   }
   return "unknown";
+}
+
+uint64_t MigrationBudgetMoves(const PartitionAssignment& prior,
+                              double max_migration_fraction) {
+  if (max_migration_fraction >= 1.0) return Restreamer::kUnlimitedMoves;
+  if (max_migration_fraction <= 0.0) return 0;
+  return static_cast<uint64_t>(max_migration_fraction *
+                               static_cast<double>(prior.NumAssigned()));
 }
 
 Restreamer::Restreamer(const GraphStream& stream,
@@ -41,6 +51,7 @@ std::vector<VertexId> Restreamer::PassOrder(RestreamOrder order,
       return perm;
     case RestreamOrder::kGain:
     case RestreamOrder::kAmbivalence:
+    case RestreamOrder::kDecisive:
       break;
   }
 
@@ -67,8 +78,22 @@ std::vector<VertexId> Restreamer::PassOrder(RestreamOrder order,
     }
     const double gain =
         static_cast<double>(stay) - static_cast<double>(best_other);
-    // Sort key ascending: descending gain, or ascending ambivalence.
-    key[v] = order == RestreamOrder::kGain ? -gain : std::fabs(gain);
+    // Sort key ascending: descending gain, ascending ambivalence, or
+    // descending decisiveness (= |gain|).
+    switch (order) {
+      case RestreamOrder::kGain:
+        key[v] = -gain;
+        break;
+      case RestreamOrder::kAmbivalence:
+        key[v] = std::fabs(gain);
+        break;
+      case RestreamOrder::kDecisive:
+        key[v] = -std::fabs(gain);
+        break;
+      case RestreamOrder::kOriginal:
+      case RestreamOrder::kRandom:
+        break;  // unreachable: both returned above
+    }
   }
   std::stable_sort(perm.begin(), perm.end(), [&key](VertexId a, VertexId b) {
     if (key[a] != key[b]) return key[a] < key[b];
@@ -96,6 +121,33 @@ GraphStream Restreamer::ReplayStream(RestreamOrder order,
   return GraphStream(std::move(arrivals));
 }
 
+RestreamPassStats Restreamer::RunIncrementalPass(
+    StreamingPartitioner* partitioner, const PartitionAssignment& prior,
+    uint64_t max_moves) const {
+  Rng rng(options_.seed);
+  WallTimer timer;
+  // The replay build is part of the reaction latency: an incremental pass is
+  // judged end-to-end, ordering included.
+  const GraphStream replay = ReplayStream(options_.order, prior, rng);
+  partitioner->BeginPass(&prior);
+  partitioner->SetMigrationBudget(max_moves);
+  partitioner->Run(replay);
+  partitioner->ClearPrior();
+
+  RestreamPassStats s;
+  s.pass = 1;
+  s.seconds = timer.ElapsedSeconds();
+  s.edge_cut_fraction = EdgeCutFraction(graph_, partitioner->assignment());
+  s.best_edge_cut_fraction = s.edge_cut_fraction;
+  s.balance = BalanceMaxOverAvg(partitioner->assignment());
+  s.migration_fraction = MigrationFraction(prior, partitioner->assignment());
+  s.overflow_fallbacks = partitioner->stats().overflow_fallbacks;
+  s.forced_placements = partitioner->stats().forced_placements;
+  s.assign_errors = partitioner->stats().assign_errors;
+  s.budget_denied_moves = partitioner->stats().budget_denied_moves;
+  return s;
+}
+
 RestreamResult Restreamer::Run(StreamingPartitioner* partitioner) const {
   Rng rng(options_.seed);
   RestreamResult result;
@@ -114,6 +166,8 @@ RestreamResult Restreamer::Run(StreamingPartitioner* partitioner) const {
       replay = ReplayStream(options_.order, prior, rng);
       current = &replay;
       partitioner->BeginPass(&prior);
+      partitioner->SetMigrationBudget(
+          MigrationBudgetMoves(prior, options_.max_migration_fraction));
     }
 
     WallTimer timer;
@@ -128,6 +182,8 @@ RestreamResult Restreamer::Run(StreamingPartitioner* partitioner) const {
         pass == 1 ? 0.0 : MigrationFraction(prior, partitioner->assignment());
     s.overflow_fallbacks = partitioner->stats().overflow_fallbacks;
     s.forced_placements = partitioner->stats().forced_placements;
+    s.assign_errors = partitioner->stats().assign_errors;
+    s.budget_denied_moves = partitioner->stats().budget_denied_moves;
 
     if (s.edge_cut_fraction <= best_cut) {
       best_cut = s.edge_cut_fraction;

@@ -42,6 +42,12 @@ enum class RestreamOrder {
   /// Prioritized restreaming: ascending |gain| — the most ambivalent
   /// vertices stream first, while both options still have room.
   kAmbivalence,
+  /// Descending |gain| — the most *decided* vertices first: strong stayers
+  /// anchor their neighbourhoods and strong movers spend the migration
+  /// budget before the ambivalent tail can waste it. The right ordering for
+  /// budgeted passes, where kGain would queue every mover at the stream
+  /// tail in worst-value-first order.
+  kDecisive,
 };
 
 /// Human-readable ordering name for tables.
@@ -57,7 +63,23 @@ struct RestreamOptions {
   /// for later passes and as the final result, so the reported partitioning
   /// never regresses below the best pass. Off = plain last-pass semantics.
   bool keep_best = true;
+  /// Bounded-migration budget for every pass that has a prior: at most
+  /// floor(max_migration_fraction * prior.NumAssigned()) placements may land
+  /// on a different partition than the prior assigned; once spent, further
+  /// moves are clamped back to the vertex's prior partition and the pass
+  /// early-stops its scoring (see StreamingPartitioner::SetMigrationBudget).
+  /// >= 1.0 (the default) disables the budget — full-restream semantics.
+  /// This is what makes a restream pass a cheap *incremental* re-partition:
+  /// the drift controller runs one budgeted pass with the live assignment as
+  /// prior instead of a cold multi-pass restream.
+  double max_migration_fraction = 1.0;
 };
+
+/// Move allowance implied by a migration-fraction budget over `prior`:
+/// floor(fraction * prior.NumAssigned()), saturating to unlimited for
+/// fraction >= 1 and to zero for fraction <= 0.
+uint64_t MigrationBudgetMoves(const PartitionAssignment& prior,
+                              double max_migration_fraction);
 
 /// Quality and cost of one restream pass.
 struct RestreamPassStats {
@@ -72,8 +94,19 @@ struct RestreamPassStats {
   /// Fraction of vertices whose partition changed from the previous pass's
   /// prior (0 for pass one) — the data-migration cost of adopting the pass.
   double migration_fraction = 0.0;
+  /// Capacity-pressure counters from PartitionerStats, per pass: a non-zero
+  /// value means placements were re-routed (or forced past C) because
+  /// partitions filled up — quality numbers under pressure are suspect, so
+  /// benches assert these stay zero during budgeted migration.
   uint64_t overflow_fallbacks = 0;
   uint64_t forced_placements = 0;
+  /// Non-capacity Assign failures (always a logic error; see
+  /// PartitionerStats::assign_errors). Surfaced per pass so Release-mode
+  /// drivers can fail loudly instead of reading a silently-wrong cut.
+  uint64_t assign_errors = 0;
+  /// Would-be moves clamped back to the prior partition by the migration
+  /// budget (0 on unbudgeted passes).
+  uint64_t budget_denied_moves = 0;
   double seconds = 0.0;
 };
 
@@ -99,6 +132,23 @@ class Restreamer {
   /// so a used partitioner is fine). After the call the partitioner holds
   /// the *last* pass's assignment; the returned result holds the final one.
   RestreamResult Run(StreamingPartitioner* partitioner) const;
+
+  /// One bounded-migration pass against an externally-supplied prior —
+  /// typically the *live* assignment, which is what turns a restream pass
+  /// into an incremental drift reaction. Replays the stream under
+  /// `options.order` with `prior` installed as the scoring prior and at most
+  /// `max_moves` placements allowed to leave their prior partition
+  /// (kUnlimitedMoves disables the cap). After the call the partitioner
+  /// holds the resulting assignment and its prior is cleared. The returned
+  /// stats carry pass = 1 and best = raw cut; callers chaining passes
+  /// renumber and fold them.
+  RestreamPassStats RunIncrementalPass(StreamingPartitioner* partitioner,
+                                       const PartitionAssignment& prior,
+                                       uint64_t max_moves) const;
+
+  /// `max_moves` value that disables the migration cap.
+  static constexpr uint64_t kUnlimitedMoves =
+      StreamingPartitioner::kUnlimitedMigrationBudget;
 
   /// The pass >= 2 stream for `order` given a prior assignment: arrivals in
   /// prioritized order, each carrying its full neighbourhood. Exposed for

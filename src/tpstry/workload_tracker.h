@@ -26,6 +26,27 @@
 
 namespace loom {
 
+/// One motif class's share of a workload summary's support mass, keyed by a
+/// platform-stable hash of the motif's exact canonical form. Canonical keys
+/// make distributions from *different* tries comparable (the live tracker
+/// summary vs. the trie a partitioner was built for) without any node-id
+/// alignment between the DAGs.
+struct MotifSupport {
+  uint64_t canonical_hash = 0;
+  /// Normalised share in [0, 1]; a distribution's entries sum to 1.
+  double probability = 0.0;
+};
+
+/// A motif-support distribution: entries sorted ascending by
+/// `canonical_hash`, probabilities summing to 1. Empty iff the summary holds
+/// no support mass. This is the reduced form the drift detector compares —
+/// O(nodes) to extract, no motif graphs copied.
+using MotifDistribution = std::vector<MotifSupport>;
+
+/// Reduces `trie` to its motif-support distribution (zero-support nodes are
+/// dropped; supports need not be normalised beforehand).
+MotifDistribution MotifDistributionOf(const TpstryPP& trie);
+
 /// Tuning for the query-stream window.
 struct WorkloadTrackerOptions {
   /// Number of most-recent queries summarised (count-based window over Q).
@@ -51,6 +72,13 @@ class WorkloadTracker {
   /// A normalised copy of the summary (supports as p-values), suitable for
   /// constructing a `Loom` matcher.
   TpstryPP Snapshot() const;
+
+  /// The summary reduced to its motif-support distribution — the cheap
+  /// periodic observable for drift detection. Unlike `Snapshot()` this
+  /// copies no motif graphs and builds no trie: one O(nodes) pass over the
+  /// live supports (which the sliding window already maintains via
+  /// ApplySupportDelta), so a controller can poll it every tick.
+  MotifDistribution SupportDistribution() const;
 
   /// Queries currently inside the window.
   size_t WindowSize() const { return window_.size(); }

@@ -202,7 +202,7 @@ TEST_F(BenchDriverTest, EdgeCutJsonIsValidWithExpectedKeys) {
   const std::string text = ReadFileOrDie(*out_dir_ + "/BENCH_edge_cut.json");
   ASSERT_FALSE(text.empty());
   EXPECT_TRUE(JsonChecker(text).Valid()) << text;
-  EXPECT_NE(text.find("\"schema\": \"loom-bench-edge-cut-v2\""),
+  EXPECT_NE(text.find("\"schema\": \"loom-bench-edge-cut-v3\""),
             std::string::npos);
   for (const char* key :
        {"\"edge_cut_fraction\"", "\"balance\"", "\"vertices_per_second\"",
@@ -226,6 +226,25 @@ TEST_F(BenchDriverTest, EdgeCutJsonHasRestreamSection) {
         "\"migration_fraction\"", "\"overflow_fallbacks\""}) {
     EXPECT_NE(text.find(key), std::string::npos)
         << "missing restream key " << key;
+  }
+}
+
+TEST_F(BenchDriverTest, EdgeCutJsonHasDriftSection) {
+  const std::string text = ReadFileOrDie(*out_dir_ + "/BENCH_edge_cut.json");
+  ASSERT_FALSE(text.empty());
+  EXPECT_NE(text.find("\"drift\": ["), std::string::npos)
+      << "missing drift section";
+  // The three strategies the reaction is bracketed between.
+  for (const char* s : {"\"no-reaction\"", "\"drift-reaction\"",
+                        "\"cold-restream\""}) {
+    EXPECT_NE(text.find(s), std::string::npos) << "missing strategy " << s;
+  }
+  for (const char* key :
+       {"\"scenario\"", "\"max_migration_fraction\"", "\"fire_tick\"",
+        "\"forced_placements\"", "\"assign_errors\"",
+        "\"budget_denied_moves\""}) {
+    EXPECT_NE(text.find(key), std::string::npos)
+        << "missing drift key " << key;
   }
 }
 

@@ -1,10 +1,11 @@
 // run_benchmarks: machine-readable perf baseline driver.
 //
 // Runs a fast subset of the bench/ experiments (edge-cut quality across the
-// standard partitioner set, self-timed microbenchmarks of the hot paths, and
-// the end-to-end streaming-throughput harness) and writes
-// BENCH_edge_cut.json and BENCH_micro.json so successive PRs can regress
-// against a recorded trajectory.
+// standard partitioner set, multi-pass restreaming, the drift-reaction
+// scenario, self-timed microbenchmarks of the hot paths, and the end-to-end
+// streaming-throughput harness) and writes BENCH_edge_cut.json and
+// BENCH_micro.json so successive PRs can regress against a recorded
+// trajectory. The JSON schema is documented in docs/BENCH_SCHEMA.md.
 //
 // Usage:
 //   run_benchmarks [--fast] [--full] [--out DIR]
@@ -20,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "drift_scenario.h"
 #include "perf_report.h"
 #include "restream/restreamer.h"
 
@@ -79,6 +81,8 @@ bool RunRestreamRows(const EdgeCutConfig& cfg, const Workload& workload,
         row.Add("balance", s.balance);
         row.Add("migration_fraction", s.migration_fraction);
         row.Add("overflow_fallbacks", s.overflow_fallbacks);
+        row.Add("forced_placements", s.forced_placements);
+        row.Add("assign_errors", s.assign_errors);
         row.Add("seconds", s.seconds);
         rows->push_back(std::move(row));
       }
@@ -88,6 +92,66 @@ bool RunRestreamRows(const EdgeCutConfig& cfg, const Workload& workload,
     std::cerr << "run_benchmarks: restream section produced no rows\n";
     return false;
   }
+  return true;
+}
+
+// Drift rows: the piecewise-stationary scenario (bench/drift_scenario.h),
+// one row per strategy — no-reaction (stale live assignment), the budgeted
+// drift reaction, and the cold multi-pass restream. CI's bench-smoke job
+// asserts the reaction contract on these rows: detector fired and stayed
+// quiet when it should, cut within 2 points of cold, migration <= budget,
+// and no silent capacity pressure (overflow/forced/assign-error counts are
+// in the row, and must be zero).
+bool RunDriftRows(bool fast, std::vector<JsonObject>* rows) {
+  DriftScenarioConfig config;
+  if (!fast) config.n = 20000;
+  const DriftScenarioResult r = RunDriftScenario(config);
+
+  if (!r.fired || r.stationary_fires != 0 || r.post_reaction_fires != 0) {
+    std::cerr << "run_benchmarks: drift detector contract violated (fired="
+              << r.fired << ", stationary=" << r.stationary_fires
+              << ", post-reaction=" << r.post_reaction_fires << ")\n";
+    return false;
+  }
+
+  const auto common = [&](JsonObject* row) {
+    row->Add("scenario", std::string("piecewise-stationary"));
+    row->Add("max_migration_fraction", r.max_migration_fraction);
+    row->Add("fire_tick", static_cast<uint64_t>(r.fire_tick));
+    row->Add("stationary_fires", static_cast<uint64_t>(r.stationary_fires));
+    row->Add("post_reaction_fires",
+             static_cast<uint64_t>(r.post_reaction_fires));
+  };
+
+  JsonObject none;
+  common(&none);
+  none.Add("strategy", std::string("no-reaction"));
+  none.Add("edge_cut_fraction", r.cut_no_reaction);
+  none.Add("migration_fraction", 0.0);
+  none.Add("seconds", 0.0);
+  rows->push_back(std::move(none));
+
+  JsonObject reaction;
+  common(&reaction);
+  reaction.Add("strategy", std::string("drift-reaction"));
+  reaction.Add("edge_cut_fraction", r.cut_reaction);
+  reaction.Add("migration_fraction", r.migration_reaction);
+  reaction.Add("seconds", r.seconds_reaction);
+  reaction.Add("overflow_fallbacks", r.reaction_overflow_fallbacks);
+  reaction.Add("forced_placements", r.reaction_forced_placements);
+  reaction.Add("assign_errors", r.reaction_assign_errors);
+  reaction.Add("budget_denied_moves", r.reaction_budget_denied_moves);
+  reaction.Add("detection_js", r.fire_signal.js);
+  reaction.Add("detection_l1", r.fire_signal.l1);
+  rows->push_back(std::move(reaction));
+
+  JsonObject cold;
+  common(&cold);
+  cold.Add("strategy", std::string("cold-restream"));
+  cold.Add("edge_cut_fraction", r.cut_cold);
+  cold.Add("migration_fraction", r.migration_cold);
+  cold.Add("seconds", r.seconds_cold);
+  rows->push_back(std::move(cold));
   return true;
 }
 
@@ -140,6 +204,9 @@ bool RunEdgeCutSection(const EdgeCutConfig& cfg, const std::string& mode,
   std::vector<JsonObject> restream_rows;
   if (!RunRestreamRows(cfg, workload, &restream_rows)) return false;
 
+  std::vector<JsonObject> drift_rows;
+  if (!RunDriftRows(mode == "fast", &drift_rows)) return false;
+
   JsonObject config;
   config.Add("n", static_cast<uint64_t>(cfg.n));
   config.Add("k", static_cast<uint64_t>(cfg.k));
@@ -147,11 +214,12 @@ bool RunEdgeCutSection(const EdgeCutConfig& cfg, const std::string& mode,
   config.Add("seed", cfg.seed);
 
   JsonObject root;
-  root.Add("schema", std::string("loom-bench-edge-cut-v2"));
+  root.Add("schema", std::string("loom-bench-edge-cut-v3"));
   root.Add("mode", mode);
   root.AddRaw("config", config.Render(2));
   root.AddRaw("results", RenderArray(rows, 2));
   root.AddRaw("restream", RenderArray(restream_rows, 2));
+  root.AddRaw("drift", RenderArray(drift_rows, 2));
   return WriteFile(path, root.Render(0));
 }
 
