@@ -56,6 +56,12 @@ class LoomPartitioner : public StreamingPartitioner {
   /// closures from two summaries); `trie` must outlive the partitioner.
   void SetTrie(const TpstryPP* trie);
 
+  /// Shard clone: shares only the immutable workload trie (safe for
+  /// concurrent read-only lookups — the matcher never mutates it); window,
+  /// matcher, label table and scoring scratch are all per-clone, so shard
+  /// clones run concurrently without synchronisation.
+  std::unique_ptr<StreamingPartitioner> CloneForShard() const override;
+
   const TpstryPP* trie() const { return trie_; }
 
   const LoomStats& loom_stats() const { return loom_stats_; }

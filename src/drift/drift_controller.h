@@ -49,6 +49,19 @@ struct DriftControllerOptions {
   uint32_t reaction_passes = 2;
   /// Seed for the replay orderings.
   uint64_t seed = 42;
+  /// Share-nothing shards per budgeted pass (> 1 = parallel reaction via
+  /// Restreamer::RunShardedIncrementalPass: the replay splits by prior
+  /// partition, each worker restreams its shard against the read-only live
+  /// assignment with a proportional budget slice, and the merge composes
+  /// the result). 1 = the serial pass; results at 1 are bit-identical to
+  /// it, and at any shard count they are deterministic for a fixed seed.
+  /// Sharded reactions run *damped*: each pass spends half the remaining
+  /// budget (all of it on the last) and the next pass's prior is the
+  /// merged result, so conflicting simultaneous shard moves cannot
+  /// oscillate; give a sharded reaction about twice the serial
+  /// `reaction_passes` (e.g. 4) — its critical path per pass is ~1/shards
+  /// of a serial pass, so the extra passes still finish far earlier.
+  uint32_t reaction_shards = 1;
 };
 
 /// What a reaction did.
@@ -73,6 +86,11 @@ struct DriftReaction {
   /// End-to-end reaction latency: adjacency rebuild + all passes + metric
   /// evaluation.
   double seconds = 0.0;
+  /// Reaction latency with one free core per shard: `seconds` with every
+  /// sharded pass's wall time replaced by its share-nothing critical path
+  /// (serial setup + slowest shard's CPU seconds + merge). Equals `seconds`
+  /// up to timer noise when `reaction_shards` is 1.
+  double critical_path_seconds = 0.0;
 };
 
 /// Wires DriftDetector verdicts to bounded-migration restream reactions.

@@ -1,6 +1,7 @@
 #include "partition/partition_state.h"
 
 #include <algorithm>
+#include <cassert>
 #include <limits>
 
 namespace loom {
@@ -8,12 +9,33 @@ namespace loom {
 PartitionAssignment::PartitionAssignment(uint32_t k, size_t capacity)
     : k_(k == 0 ? 1 : k), capacity_(capacity), sizes_(k_, 0) {}
 
+void PartitionAssignment::SetCapacities(std::vector<size_t> capacities) {
+  assert((capacities.empty() || capacities.size() == k_) &&
+         "per-partition capacities must cover every partition");
+  if (!capacities.empty() && capacities.size() != k_) return;
+  per_part_capacity_ = std::move(capacities);
+}
+
+size_t PartitionAssignment::CapacityOf(uint32_t part) const {
+  if (!per_part_capacity_.empty() && part < k_) {
+    return per_part_capacity_[part];
+  }
+  return capacity_;
+}
+
+bool PartitionAssignment::AtCapacity(uint32_t part) const {
+  if (!per_part_capacity_.empty()) {
+    return sizes_[part] >= per_part_capacity_[part];
+  }
+  return capacity_ != 0 && sizes_[part] >= capacity_;
+}
+
 Status PartitionAssignment::Assign(VertexId v, uint32_t part) {
   if (part >= k_) return Status::InvalidArgument("partition index out of range");
   if (PartOf(v) >= 0) {
     return Status::AlreadyExists("vertex already assigned");
   }
-  if (capacity_ != 0 && sizes_[part] >= capacity_) {
+  if (AtCapacity(part)) {
     return Status::CapacityExceeded("partition " + std::to_string(part) +
                                     " is full");
   }
@@ -26,7 +48,7 @@ Status PartitionAssignment::ForceAssign(VertexId v, uint32_t part) {
   if (part_of_[v] >= 0) {
     return Status::AlreadyExists("vertex already assigned");
   }
-  if (capacity_ != 0 && sizes_[part] >= capacity_) ++num_overflowed_;
+  if (AtCapacity(part)) ++num_overflowed_;
   part_of_[v] = static_cast<int32_t>(part);
   ++sizes_[part];
   ++num_assigned_;
@@ -39,9 +61,12 @@ int32_t PartitionAssignment::PartOf(VertexId v) const {
 }
 
 size_t PartitionAssignment::FreeCapacity(uint32_t part) const {
-  if (capacity_ == 0) return std::numeric_limits<size_t>::max();
-  if (part >= k_ || sizes_[part] >= capacity_) return 0;
-  return capacity_ - sizes_[part];
+  if (per_part_capacity_.empty() && capacity_ == 0) {
+    return std::numeric_limits<size_t>::max();
+  }
+  if (part >= k_) return 0;
+  const size_t cap = CapacityOf(part);
+  return sizes_[part] >= cap ? 0 : cap - sizes_[part];
 }
 
 uint32_t PartitionAssignment::SmallestPartition() const {

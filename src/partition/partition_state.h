@@ -40,6 +40,20 @@ class PartitionAssignment {
   uint32_t k() const { return k_; }
   size_t capacity() const { return capacity_; }
 
+  /// Installs per-partition capacity bounds (size must be k), overriding
+  /// the scalar capacity for Assign/FreeCapacity checks. Unlike the
+  /// constructor's scalar (where 0 = unconstrained), an entry of 0 means
+  /// partition p has no room at all; pass an empty vector to revert to the
+  /// scalar bound. This is how a share-nothing restream shard is confined
+  /// to its slice of each partition: the slices across shards sum to at
+  /// most the global bound, so the merged assignment respects C with zero
+  /// coordination (see restream/shard_plan.h).
+  void SetCapacities(std::vector<size_t> capacities);
+
+  /// Capacity bound of `part`: the per-partition override when installed,
+  /// else the scalar capacity (0 = unconstrained in scalar mode only).
+  size_t CapacityOf(uint32_t part) const;
+
   /// Vertex count per partition.
   const std::vector<uint32_t>& Sizes() const { return sizes_; }
 
@@ -65,8 +79,13 @@ class PartitionAssignment {
   size_t NumOverflowed() const { return num_overflowed_; }
 
  private:
+  /// True when `part` cannot take another vertex under the active bound.
+  bool AtCapacity(uint32_t part) const;
+
   uint32_t k_;
   size_t capacity_;
+  /// Per-partition capacity overrides; empty = scalar `capacity_` applies.
+  std::vector<size_t> per_part_capacity_;
   std::vector<int32_t> part_of_;
   std::vector<uint32_t> sizes_;
   size_t num_assigned_ = 0;

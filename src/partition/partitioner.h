@@ -8,6 +8,7 @@
 /// never revisits the decision.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -87,6 +88,18 @@ class StreamingPartitioner {
   /// Partitioner name for result tables.
   virtual std::string Name() const = 0;
 
+  /// Creates a fresh partitioner of the same concrete type and options for
+  /// one share-nothing restream shard. The clone shares *no mutable state*
+  /// with `this` — only immutable read-only inputs (LOOM's workload trie) —
+  /// so clones of one partitioner may run concurrently on disjoint shard
+  /// streams. The clone starts un-streamed; the sharded driver configures
+  /// it via BeginPass / SetShardCapacities / SetMigrationBudget. Returns
+  /// nullptr when the concrete type does not support sharding (the sharded
+  /// pass then falls back to the serial one).
+  virtual std::unique_ptr<StreamingPartitioner> CloneForShard() const {
+    return nullptr;
+  }
+
   /// Feeds the whole stream and finishes. Early-stop: once a migration
   /// budget is exhausted mid-pass, the remaining arrivals bypass OnVertex
   /// scoring entirely and are placed straight onto their prior partition —
@@ -127,6 +140,31 @@ class StreamingPartitioner {
   /// unlimited by BeginPass; call after BeginPass, before streaming. No
   /// effect without a prior.
   void SetMigrationBudget(uint64_t max_moves);
+
+  /// Shard-clone variant: installs explicit per-partition home claims
+  /// instead of deriving them from the whole prior. A shard clone replays
+  /// only its own shard's vertices, so only *their* home slots may be
+  /// reserved — claims for partitions owned by other shards would never
+  /// settle and would permanently block inbound moves. `home_claims` must
+  /// have one entry per partition (the count of this shard's replayed
+  /// vertices whose prior home is that partition); an empty vector falls
+  /// back to the prior's sizes (the one-arg overload's semantics), and the
+  /// claims are ignored when unbudgeted or without a prior.
+  void SetMigrationBudget(uint64_t max_moves,
+                          std::vector<uint32_t> home_claims);
+
+  /// Confines this partitioner to per-partition capacity slices (see
+  /// PartitionAssignment::SetCapacities). The sharded restream driver calls
+  /// this after BeginPass so each clone's slice of every partition sums
+  /// across shards to at most the global bound C. An empty vector is a
+  /// no-op (scalar capacity stays in force).
+  void SetShardCapacities(std::vector<size_t> capacities);
+
+  /// Installs an externally composed assignment and stats — the merge step
+  /// of a sharded pass — and drops any prior / migration budget, leaving
+  /// the partitioner in the same logical state a serial pass ends in.
+  void AdoptAssignment(PartitionAssignment assignment,
+                       const PartitionerStats& stats);
 
   /// True when a prior is installed and the migration budget is spent: every
   /// remaining placement will be clamped to its prior partition, so drivers

@@ -29,6 +29,8 @@
 
 namespace loom {
 
+class ThreadPool;
+
 /// How passes >= 2 order the replayed vertices.
 enum class RestreamOrder {
   /// Replay the pass-one arrival order.
@@ -75,9 +77,19 @@ struct RestreamOptions {
   double max_migration_fraction = 1.0;
 };
 
+/// Validated copy of `options`: `num_passes` clamped to >= 1, and a NaN or
+/// negative `max_migration_fraction` rejected by clamping it to 0.0 — the
+/// conservative end (a garbage budget freezes migration; it must never
+/// silently become an *unbudgeted* pass, nor feed NaN into the move
+/// arithmetic). The Restreamer constructor applies this to everything it is
+/// given.
+RestreamOptions SanitizeRestreamOptions(RestreamOptions options);
+
 /// Move allowance implied by a migration-fraction budget over `prior`:
 /// floor(fraction * prior.NumAssigned()), saturating to unlimited for
-/// fraction >= 1 and to zero for fraction <= 0.
+/// fraction >= 1 and to zero for fraction <= 0 — or NaN, which is invalid
+/// input and maps to the conservative end (zero moves), never to
+/// unlimited.
 uint64_t MigrationBudgetMoves(const PartitionAssignment& prior,
                               double max_migration_fraction);
 
@@ -108,6 +120,19 @@ struct RestreamPassStats {
   /// budget (0 on unbudgeted passes).
   uint64_t budget_denied_moves = 0;
   double seconds = 0.0;
+  /// Share-nothing shards the pass ran on (1 = serial pass).
+  uint32_t num_shards = 1;
+  /// Sharded passes only: per-shard thread-CPU seconds (BeginPass through
+  /// ClearPrior), index = shard. Empty for serial passes.
+  std::vector<double> shard_seconds;
+  /// Sharded passes only: serial setup (replay build + shard plan) plus the
+  /// slowest shard's CPU seconds plus the merge — the pass latency on a
+  /// machine with one free core per shard. 0 for serial passes (use
+  /// `seconds`). On a machine with fewer cores than shards `seconds` (wall
+  /// time) cannot shrink, but this number still measures the share-nothing
+  /// critical path because the per-shard component is CPU time, not wall
+  /// time.
+  double critical_path_seconds = 0.0;
 };
 
 /// Outcome of a full restream run.
@@ -146,24 +171,59 @@ class Restreamer {
                                        const PartitionAssignment& prior,
                                        uint64_t max_moves) const;
 
+  /// The sharded parallel form of RunIncrementalPass: splits the replay by
+  /// prior partition into `num_shards` share-nothing shards (shard_plan.h),
+  /// restreams them concurrently on a fixed worker pool — each worker
+  /// driving its own `partitioner->CloneForShard()` against the shared
+  /// read-only `prior` with a proportional slice of `max_moves` and of each
+  /// partition's capacity — then merges the disjoint shard assignments and
+  /// folds their stats into `partitioner` (AdoptAssignment), leaving it in
+  /// the same logical state the serial pass would.
+  ///
+  /// Guarantees: the result is a pure function of (stream, prior, options,
+  /// max_moves, num_shards) — worker scheduling never leaks into it;
+  /// `num_shards == 1` is bit-identical to RunIncrementalPass (same
+  /// assignment, same counters); and the merged result never migrates more
+  /// than `max_moves` vertices nor exceeds the serial capacity bound C in
+  /// any partition the prior respected it in. Falls back to the serial pass
+  /// when the partitioner does not support cloning or the prior's k
+  /// mismatches. The returned stats carry per-shard seconds and the
+  /// share-nothing critical path.
+  RestreamPassStats RunShardedIncrementalPass(
+      StreamingPartitioner* partitioner, const PartitionAssignment& prior,
+      uint64_t max_moves, uint32_t num_shards) const;
+
   /// `max_moves` value that disables the migration cap.
   static constexpr uint64_t kUnlimitedMoves =
       StreamingPartitioner::kUnlimitedMigrationBudget;
 
   /// The pass >= 2 stream for `order` given a prior assignment: arrivals in
   /// prioritized order, each carrying its full neighbourhood. Exposed for
-  /// tests and for drivers that schedule passes themselves.
+  /// tests and for drivers that schedule passes themselves. With a non-null
+  /// `pool` the gain scoring and arrival construction fan out over it —
+  /// bit-identical output (every chunk writes only its own slots), just
+  /// built on more cores; the sharded pass reuses its worker pool here so
+  /// the serial setup does not dominate its critical path. When
+  /// `critical_seconds_out` is non-null the build's share-nothing critical
+  /// path is *added* to it: calling-thread CPU seconds plus, per fanned-out
+  /// stage, the LPT makespan model max(slowest chunk, total chunk CPU /
+  /// workers) — i.e. the build latency on a machine with the pool's worker
+  /// count in free cores, measured machine-independently.
   GraphStream ReplayStream(RestreamOrder order,
-                           const PartitionAssignment& prior, Rng& rng) const;
+                           const PartitionAssignment& prior, Rng& rng,
+                           ThreadPool* pool = nullptr,
+                           double* critical_seconds_out = nullptr) const;
 
   /// The adjacency rebuilt from the recorded stream.
   const LabeledGraph& graph() const { return graph_; }
 
  private:
-  /// The vertex permutation for a pass >= 2.
+  /// The vertex permutation for a pass >= 2. Accumulates its critical-path
+  /// cost into `critical_seconds_out` (see ReplayStream) when non-null.
   std::vector<VertexId> PassOrder(RestreamOrder order,
-                                  const PartitionAssignment& prior,
-                                  Rng& rng) const;
+                                  const PartitionAssignment& prior, Rng& rng,
+                                  ThreadPool* pool,
+                                  double* critical_seconds_out) const;
 
   const GraphStream& stream_;
   LabeledGraph graph_;

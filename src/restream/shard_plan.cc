@@ -1,0 +1,111 @@
+#include "restream/shard_plan.h"
+
+#include <algorithm>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace loom {
+
+ShardPlan BuildShardPlan(const GraphStream& replay,
+                         const PartitionAssignment& prior,
+                         uint32_t num_shards, uint64_t global_moves,
+                         size_t capacity, ThreadPool* pool,
+                         double* critical_seconds_out) {
+  ThreadCpuTimer self_cpu;
+  double parallel_seconds = 0.0;
+  num_shards = std::max<uint32_t>(1, num_shards);
+  const uint32_t k = prior.k();
+
+  ShardPlan plan;
+  plan.shards.resize(num_shards);
+
+  // Deal the arrivals; each shard keeps the global replay order restricted
+  // to its own vertices, so one shard replays the serial stream exactly.
+  // Shard of one arrival — a pure function, so the parallel build below
+  // (one task per shard, each collecting only its own arrivals) is
+  // bit-identical to the serial one.
+  const auto shard_of = [&](const VertexArrival& arrival) {
+    const int32_t home = prior.PartOf(arrival.vertex);
+    return home >= 0
+               ? ShardOfPartition(static_cast<uint32_t>(home), num_shards)
+               : static_cast<uint32_t>(arrival.vertex % num_shards);
+  };
+  const auto collect_shard = [&](uint32_t s) {
+    std::vector<VertexArrival> mine;
+    mine.reserve(replay.NumVertices() / num_shards + 1);
+    for (const VertexArrival& arrival : replay.arrivals()) {
+      if (shard_of(arrival) == s) mine.push_back(arrival);
+    }
+    plan.shards[s].stream = GraphStream(std::move(mine));
+  };
+  if (pool == nullptr || num_shards == 1) {
+    for (uint32_t s = 0; s < num_shards; ++s) collect_shard(s);
+  } else {
+    // One concurrent collection task per shard; the stage's critical path
+    // is the slowest task's thread-CPU time (scheduling-independent).
+    std::vector<double> task_cpu(num_shards, 0.0);
+    ParallelFor(*pool, num_shards, [&](size_t s) {
+      ThreadCpuTimer cpu;
+      collect_shard(static_cast<uint32_t>(s));
+      task_cpu[s] = cpu.ElapsedSeconds();
+    });
+    parallel_seconds += *std::max_element(task_cpu.begin(), task_cpu.end());
+  }
+
+  const uint64_t total = prior.NumAssigned();
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    RestreamShard& shard = plan.shards[s];
+
+    // Home claims: the prior sizes of the partitions this shard owns. By
+    // the split rule every vertex with a prior home in an owned partition
+    // replays in this shard, so every claim settles here.
+    shard.home_claims.assign(k, 0);
+    for (uint32_t p = 0; p < k; ++p) {
+      if (ShardOfPartition(p, num_shards) != s) continue;
+      shard.home_claims[p] = prior.Sizes()[p];
+      shard.prior_vertices += prior.Sizes()[p];
+    }
+
+    // Budget slice: floor-proportional to the shard's prior mass, so the
+    // slices sum to at most the global allowance (one shard gets it all).
+    if (global_moves == StreamingPartitioner::kUnlimitedMigrationBudget) {
+      shard.migration_budget = global_moves;
+    } else if (total == 0) {
+      // No prior vertices: nothing counts as a move, the budget is moot.
+      shard.migration_budget = global_moves;
+    } else {
+      shard.migration_budget = static_cast<uint64_t>(
+          (static_cast<unsigned __int128>(global_moves) *
+           shard.prior_vertices) /
+          total);
+    }
+
+    // Capacity slice: own members' prior size plus an even share of each
+    // partition's slack beyond its prior size (remainder to low shards).
+    // The own component is capped at C so the slices sum to exactly C:
+    // when the prior itself overflowed C (forced placements on an
+    // over-capacity stream), the owner's surplus stayers overflow-fallback
+    // within their shard — the same treatment the serial pass gives them
+    // under its scalar C, which keeps the 1-shard plan bit-identical to
+    // the serial pass even for overfull priors.
+    if (capacity == 0) continue;  // unconstrained pass: leave empty
+    shard.capacities.assign(k, 0);
+    for (uint32_t p = 0; p < k; ++p) {
+      const size_t prior_p = prior.Sizes()[p];
+      const size_t extra = capacity > prior_p ? capacity - prior_p : 0;
+      const size_t share =
+          extra / num_shards + (s < extra % num_shards ? 1 : 0);
+      const size_t own = ShardOfPartition(p, num_shards) == s
+                             ? std::min(prior_p, capacity)
+                             : 0;
+      shard.capacities[p] = own + share;
+    }
+  }
+  if (critical_seconds_out != nullptr) {
+    *critical_seconds_out += self_cpu.ElapsedSeconds() + parallel_seconds;
+  }
+  return plan;
+}
+
+}  // namespace loom

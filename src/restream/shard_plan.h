@@ -1,0 +1,90 @@
+#ifndef LOOM_RESTREAM_SHARD_PLAN_H_
+#define LOOM_RESTREAM_SHARD_PLAN_H_
+
+/// \file
+/// Share-nothing sharding of a budgeted restream pass. The replay stream is
+/// split by *prior partition* — every vertex whose previous home is
+/// partition p lands in the shard that owns p — so each shard restreams its
+/// own slice of the graph against the shared read-only prior, and the three
+/// pieces of per-partition state a budgeted pass depends on split exactly
+/// with it, with zero coordination between workers:
+///
+///  * **Migration budget.** Shard s gets
+///    `floor(shard_prior_size_s / total * global_moves)`; the floors sum to
+///    at most `global_moves`, so the global migration cap holds no matter
+///    how each shard spends its allowance.
+///  * **Home-slot reservation.** A shard replays *all* vertices whose prior
+///    home is one of its partitions, so its home claims are exactly the
+///    prior sizes of the partitions it owns (and zero elsewhere): every
+///    claim settles within the shard and the reservation stays exact.
+///  * **Capacity.** Shard s may fill partition p up to its own members'
+///    prior size (capped at C) plus an even share of the partition's slack
+///    (`C - prior_size_p`, remainder to the low shards); the slices sum to
+///    exactly C, so the merged assignment always respects the global
+///    bound. When the prior itself overflowed C (forced placements), the
+///    owner's surplus stayers overflow-fallback within their shard — the
+///    same treatment the serial pass gives them under its scalar C.
+///
+/// With one shard the plan degenerates to the serial pass exactly: full
+/// stream, full budget, claims = prior sizes, capacity = C — which is what
+/// makes `RunShardedIncrementalPass(num_shards=1)` bit-identical to
+/// `RunIncrementalPass`.
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/partitioner.h"
+#include "stream/stream.h"
+
+namespace loom {
+
+class ThreadPool;
+
+/// One worker's share of a sharded restream pass.
+struct RestreamShard {
+  /// This shard's arrivals, in global replay order.
+  GraphStream stream;
+  /// Per-partition home claims for SetMigrationBudget: the number of this
+  /// shard's replayed vertices whose prior home is that partition.
+  std::vector<uint32_t> home_claims;
+  /// Per-partition capacity slice for SetShardCapacities; empty when the
+  /// pass is unconstrained (capacity 0).
+  std::vector<size_t> capacities;
+  /// This shard's slice of the global migration budget.
+  uint64_t migration_budget = StreamingPartitioner::kUnlimitedMigrationBudget;
+  /// Replayed vertices with a prior home in this shard (the budget weight).
+  uint64_t prior_vertices = 0;
+};
+
+/// The full pass decomposition: `shards[s]` is worker s's share.
+struct ShardPlan {
+  std::vector<RestreamShard> shards;
+};
+
+/// Owner shard of prior partition `partition` under `num_shards` shards
+/// (deterministic round-robin).
+inline uint32_t ShardOfPartition(uint32_t partition, uint32_t num_shards) {
+  return partition % num_shards;
+}
+
+/// Splits `replay` into `num_shards` share-nothing shards against `prior`.
+/// `global_moves` is the pass's total migration allowance
+/// (StreamingPartitioner::kUnlimitedMigrationBudget to disable the split);
+/// `capacity` the per-partition bound C the serial pass would run under
+/// (0 = unconstrained). Vertices absent from the prior are dealt round-robin
+/// by vertex id; they carry no home claim (the reservation does not cover
+/// them, exactly as in the serial pass). With a non-null `pool` the shards
+/// assemble their streams concurrently (each shard writes only its own
+/// plan entry, so the result is bit-identical to the serial build). When
+/// `critical_seconds_out` is non-null the build's share-nothing critical
+/// path — calling-thread CPU plus the slowest concurrent collection task's
+/// thread-CPU seconds — is added to it.
+ShardPlan BuildShardPlan(const GraphStream& replay,
+                         const PartitionAssignment& prior,
+                         uint32_t num_shards, uint64_t global_moves,
+                         size_t capacity, ThreadPool* pool = nullptr,
+                         double* critical_seconds_out = nullptr);
+
+}  // namespace loom
+
+#endif  // LOOM_RESTREAM_SHARD_PLAN_H_

@@ -1,21 +1,27 @@
 // run_benchmarks: machine-readable perf baseline driver.
 //
 // Runs a fast subset of the bench/ experiments (edge-cut quality across the
-// standard partitioner set, multi-pass restreaming, the drift-reaction
-// scenario, self-timed microbenchmarks of the hot paths, and the end-to-end
-// streaming-throughput harness) and writes BENCH_edge_cut.json and
-// BENCH_micro.json so successive PRs can regress against a recorded
-// trajectory. The JSON schema is documented in docs/BENCH_SCHEMA.md.
+// standard partitioner set, multi-pass restreaming, the sharded parallel
+// restream sweep, the drift-reaction scenario, self-timed microbenchmarks
+// of the hot paths, and the end-to-end streaming-throughput harness) and
+// writes BENCH_edge_cut.json and BENCH_micro.json so successive PRs can
+// regress against a recorded trajectory. The JSON schema is documented in
+// docs/BENCH_SCHEMA.md.
 //
 // Usage:
-//   run_benchmarks [--fast] [--full] [--out DIR]
+//   run_benchmarks [--fast] [--full] [--out DIR] [--threads N]
 //
 // --fast (default) keeps total runtime to a few seconds; --full runs the
-// paper-scale configuration. Exit status is non-zero on any failure, and
-// the JSON files are only left behind when every section succeeded.
+// paper-scale configuration. --threads N caps the parallel-restream sweep's
+// shard counts (default 4; powers of two up to N). Exit status is non-zero
+// on any failure, and the JSON files are only left behind when every
+// section succeeded.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -95,6 +101,193 @@ bool RunRestreamRows(const EdgeCutConfig& cfg, const Workload& workload,
   return true;
 }
 
+// Parallel-restream rows: for ldg and loom on each graph family, one
+// damped drift-style reaction (decisive ordering, 25% cumulative budget,
+// live single-pass assignment as prior, `kReactionPasses` budgeted passes
+// spending half the remaining budget each — all of it on the last — with
+// keep-best adoption) per shard count in {1, 2, 4, ..., threads}, all on
+// the same pass schedule so the only variable is the worker count. Every
+// row records the final cut, migration, measured wall seconds and the
+// share-nothing critical path (per pass: serial setup + slowest shard's
+// thread-CPU seconds + merge — the reaction latency with one free core per
+// shard; wall time cannot shrink on a machine with fewer free cores), plus
+// the speedup of that critical path over the serial reference reaction.
+// The driver itself enforces the section's hard invariants — global budget
+// respected, no forced placements, 1-shard bit-equivalence with the serial
+// RunIncrementalPass-based reaction — and CI re-asserts them from the
+// JSON.
+struct ParallelReactionResult {
+  PartitionAssignment assignment{1, 0};
+  double edge_cut = 0.0;
+  double migration = 0.0;
+  double wall_seconds = 0.0;
+  double critical_path_seconds = 0.0;
+  uint64_t budget_denied_moves = 0;
+  uint64_t overflow_fallbacks = 0;
+  uint64_t forced_placements = 0;
+  uint64_t assign_errors = 0;
+  double balance = 0.0;
+};
+
+constexpr uint32_t kReactionPasses = 4;
+
+// Runs the damped keep-best reaction at `num_shards` (0 = the serial
+// RunIncrementalPass reference — identical schedule, serial engine).
+ParallelReactionResult RunParallelReaction(const Restreamer& restreamer,
+                                           const LabeledGraph& g,
+                                           StreamingPartitioner* p,
+                                           const PartitionAssignment& original,
+                                           uint64_t total_budget,
+                                           uint32_t num_shards) {
+  ParallelReactionResult r;
+  PartitionAssignment prior = original;
+  r.assignment = original;
+  double best_cut = EdgeCutFraction(g, original);
+  for (uint32_t pass = 1; pass <= kReactionPasses; ++pass) {
+    const size_t spent = ComputeMigration(original, prior).moved;
+    const uint64_t remaining =
+        total_budget > spent ? total_budget - spent : 0;
+    if (remaining == 0) break;
+    const uint64_t pass_budget =
+        pass < kReactionPasses ? (remaining + 1) / 2 : remaining;
+    const RestreamPassStats stats =
+        num_shards == 0
+            ? restreamer.RunIncrementalPass(p, prior, pass_budget)
+            : restreamer.RunShardedIncrementalPass(p, prior, pass_budget,
+                                                   num_shards);
+    r.wall_seconds += stats.seconds;
+    r.critical_path_seconds += num_shards <= 1
+                                   ? stats.seconds
+                                   : stats.critical_path_seconds;
+    r.budget_denied_moves += stats.budget_denied_moves;
+    r.overflow_fallbacks += stats.overflow_fallbacks;
+    r.forced_placements += stats.forced_placements;
+    r.assign_errors += stats.assign_errors;
+    if (stats.edge_cut_fraction < best_cut) {
+      best_cut = stats.edge_cut_fraction;
+      r.assignment = p->assignment();
+    }
+    prior = p->assignment();
+  }
+  r.edge_cut = best_cut;
+  r.migration = MigrationFraction(original, r.assignment);
+  r.balance = BalanceMaxOverAvg(r.assignment);
+  return r;
+}
+
+bool RunParallelRestreamRows(const EdgeCutConfig& cfg,
+                             const Workload& workload, uint32_t threads,
+                             std::vector<JsonObject>* rows) {
+  const double kBudgetFraction = 0.25;
+  std::vector<uint32_t> shard_counts;
+  for (uint32_t s = 1; s <= threads; s *= 2) shard_counts.push_back(s);
+
+  for (const GraphKind kind : cfg.kinds) {
+    Rng rng(cfg.seed + 2);
+    LabeledGraph g = MakeGraph(kind, cfg.n, cfg.avg_degree,
+                               LabelConfig{4, 0.3}, rng);
+    const GraphStream stream = MakeStream(g, StreamOrder::kRandom, rng);
+
+    PartitionerOptions popts;
+    popts.k = cfg.k;
+    popts.num_vertices_hint = g.NumVertices();
+    popts.num_edges_hint = g.NumEdges();
+
+    PartitionerSet set = MakeStandardSet(popts, workload, 0.3);
+    RestreamOptions ropts;
+    ropts.order = RestreamOrder::kDecisive;
+    const Restreamer restreamer(stream, ropts);
+
+    for (StreamingPartitioner* p : set.All()) {
+      const std::string name = p->Name();
+      if (name != "ldg" && name != "loom") continue;
+
+      // Live prior: the single-pass assignment a drift reaction starts
+      // from.
+      p->Run(stream);
+      const PartitionAssignment prior = p->assignment();
+      const uint64_t budget = MigrationBudgetMoves(prior, kBudgetFraction);
+
+      const ParallelReactionResult serial = RunParallelReaction(
+          restreamer, g, p, prior, budget, /*num_shards=*/0);
+
+      for (const uint32_t num_shards : shard_counts) {
+        const ParallelReactionResult r = RunParallelReaction(
+            restreamer, g, p, prior, budget, num_shards);
+
+        const size_t moved = ComputeMigration(prior, r.assignment).moved;
+        if (moved > budget || r.forced_placements != 0 ||
+            r.assign_errors != 0) {
+          std::cerr << "run_benchmarks: parallel restream invariant "
+                       "violated ("
+                    << name << ", shards=" << num_shards
+                    << ": moved=" << moved << "/" << budget
+                    << ", forced=" << r.forced_placements
+                    << ", errors=" << r.assign_errors << ")\n";
+          return false;
+        }
+        bool serial_equivalent = true;
+        if (num_shards == 1) {
+          const size_t bound = std::max(serial.assignment.IdBound(),
+                                        r.assignment.IdBound());
+          for (VertexId v = 0; v < bound && serial_equivalent; ++v) {
+            serial_equivalent =
+                serial.assignment.PartOf(v) == r.assignment.PartOf(v);
+          }
+          if (!serial_equivalent) {
+            std::cerr << "run_benchmarks: 1-shard reaction diverged from "
+                         "the serial RunIncrementalPass reaction ("
+                      << name << ")\n";
+            return false;
+          }
+        }
+
+        JsonObject row;
+        row.Add("graph", GraphKindName(kind));
+        row.Add("partitioner", name);
+        row.Add("ordering", RestreamOrderName(ropts.order));
+        row.Add("num_shards", static_cast<uint64_t>(num_shards));
+        row.Add("reaction_passes", static_cast<uint64_t>(kReactionPasses));
+        row.Add("edge_cut_fraction", r.edge_cut);
+        row.Add("serial_edge_cut_fraction", serial.edge_cut);
+        row.Add("balance", r.balance);
+        row.Add("migration_fraction", r.migration);
+        row.Add("max_migration_fraction", kBudgetFraction);
+        row.Add("migration_budget_moves", budget);
+        row.Add("prior_moves", static_cast<uint64_t>(moved));
+        row.Add("budget_denied_moves", r.budget_denied_moves);
+        row.Add("overflow_fallbacks", r.overflow_fallbacks);
+        row.Add("forced_placements", r.forced_placements);
+        row.Add("assign_errors", r.assign_errors);
+        row.Add("seconds", r.wall_seconds);
+        row.Add("critical_path_seconds", r.critical_path_seconds);
+        row.Add("serial_seconds", serial.wall_seconds);
+        row.Add("speedup_vs_serial",
+                r.critical_path_seconds > 0.0
+                    ? serial.wall_seconds / r.critical_path_seconds
+                    : 0.0);
+        row.Add("wall_speedup", r.wall_seconds > 0.0
+                                    ? serial.wall_seconds / r.wall_seconds
+                                    : 0.0);
+        // Only the 1-shard row carries the bit-equivalence verdict — it is
+        // the only row the check runs on (multi-shard results legitimately
+        // differ from the serial engine's).
+        if (num_shards == 1) {
+          row.AddRaw("serial_equivalent",
+                     serial_equivalent ? "true" : "false");
+        }
+        rows->push_back(std::move(row));
+      }
+    }
+  }
+  if (rows->empty()) {
+    std::cerr
+        << "run_benchmarks: parallel restream section produced no rows\n";
+    return false;
+  }
+  return true;
+}
+
 // Drift rows: the piecewise-stationary scenario (bench/drift_scenario.h),
 // one row per strategy — no-reaction (stale live assignment), the budgeted
 // drift reaction, and the cold multi-pass restream. CI's bench-smoke job
@@ -156,7 +349,7 @@ bool RunDriftRows(bool fast, std::vector<JsonObject>* rows) {
 }
 
 bool RunEdgeCutSection(const EdgeCutConfig& cfg, const std::string& mode,
-                       const std::string& path) {
+                       uint32_t threads, const std::string& path) {
   WorkloadGenOptions wopts;
   wopts.num_queries = 3;
   Workload workload = PathWorkload(wopts);
@@ -204,6 +397,11 @@ bool RunEdgeCutSection(const EdgeCutConfig& cfg, const std::string& mode,
   std::vector<JsonObject> restream_rows;
   if (!RunRestreamRows(cfg, workload, &restream_rows)) return false;
 
+  std::vector<JsonObject> parallel_rows;
+  if (!RunParallelRestreamRows(cfg, workload, threads, &parallel_rows)) {
+    return false;
+  }
+
   std::vector<JsonObject> drift_rows;
   if (!RunDriftRows(mode == "fast", &drift_rows)) return false;
 
@@ -212,13 +410,15 @@ bool RunEdgeCutSection(const EdgeCutConfig& cfg, const std::string& mode,
   config.Add("k", static_cast<uint64_t>(cfg.k));
   config.Add("avg_degree", static_cast<uint64_t>(cfg.avg_degree));
   config.Add("seed", cfg.seed);
+  config.Add("threads", static_cast<uint64_t>(threads));
 
   JsonObject root;
-  root.Add("schema", std::string("loom-bench-edge-cut-v3"));
+  root.Add("schema", std::string("loom-bench-edge-cut-v4"));
   root.Add("mode", mode);
   root.AddRaw("config", config.Render(2));
   root.AddRaw("results", RenderArray(rows, 2));
   root.AddRaw("restream", RenderArray(restream_rows, 2));
+  root.AddRaw("parallel_restream", RenderArray(parallel_rows, 2));
   root.AddRaw("drift", RenderArray(drift_rows, 2));
   return WriteFile(path, root.Render(0));
 }
@@ -228,6 +428,7 @@ bool RunEdgeCutSection(const EdgeCutConfig& cfg, const std::string& mode,
 int Main(int argc, char** argv) {
   bool fast = true;
   std::string out_dir = ".";
+  uint32_t threads = 4;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--fast") {
@@ -236,8 +437,12 @@ int Main(int argc, char** argv) {
       fast = false;
     } else if (arg == "--out" && i + 1 < argc) {
       out_dir = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      const int parsed = std::atoi(argv[++i]);
+      threads = parsed < 1 ? 1 : static_cast<uint32_t>(parsed);
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "Usage: run_benchmarks [--fast|--full] [--out DIR]\n";
+      std::cout << "Usage: run_benchmarks [--fast|--full] [--out DIR] "
+                   "[--threads N]\n";
       return 0;
     } else {
       std::cerr << "run_benchmarks: unknown argument '" << arg << "'\n";
@@ -271,7 +476,7 @@ int Main(int argc, char** argv) {
   };
 
   std::cout << "run_benchmarks: edge-cut section (" << mode << ") ...\n";
-  if (!RunEdgeCutSection(cfg, mode, edge_cut_tmp)) return fail();
+  if (!RunEdgeCutSection(cfg, mode, threads, edge_cut_tmp)) return fail();
 
   std::cout << "run_benchmarks: micro section (" << mode << ") ...\n";
   const std::vector<MicroResult> micro = RunMicroLoops(fast);
