@@ -83,8 +83,9 @@ int main() {
       ropts.num_passes = passes;
       ropts.order = order;
       const Restreamer restreamer(stream, ropts);
-      LdgPartitioner ldg(popts);
-      const RestreamResult r = restreamer.Run(&ldg);
+      auto ldg = MakePartitioner("ldg", popts);
+      if (!ldg.ok()) return 1;
+      const RestreamResult r = restreamer.Run(ldg->get());
       double migration = 0.0;
       for (const RestreamPassStats& s : r.passes) {
         migration += s.migration_fraction;

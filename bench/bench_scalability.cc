@@ -45,18 +45,19 @@ int main() {
           timer.ElapsedSeconds());
     };
 
-    HashPartitioner hash(popts);
-    LdgPartitioner ldg(popts);
-    FennelPartitioner fennel(popts);
+    auto hash = MakePartitioner("hash", popts);
+    auto ldg = MakePartitioner("ldg", popts);
+    auto fennel = MakePartitioner("fennel", popts);
+    if (!hash.ok() || !ldg.ok() || !fennel.ok()) return 1;
     LoomOptions lopts;
     lopts.partitioner = popts;
     lopts.matcher.frequency_threshold = 0.2;
     auto loom = Loom::Create(workload, lopts);
     if (!loom.ok()) return 1;
 
-    const auto [tp_hash, s_hash] = throughput(&hash);
-    const auto [tp_ldg, s_ldg] = throughput(&ldg);
-    const auto [tp_fennel, s_fennel] = throughput(&fennel);
+    const auto [tp_hash, s_hash] = throughput(hash->get());
+    const auto [tp_ldg, s_ldg] = throughput(ldg->get());
+    const auto [tp_fennel, s_fennel] = throughput(fennel->get());
     const auto [tp_loom, s_loom] = throughput(&(*loom)->Partitioner());
 
     WallTimer offline_timer;

@@ -1,5 +1,6 @@
 #include "drift_scenario.h"
 
+#include <cassert>
 #include <utility>
 
 #include "common/timer.h"
@@ -133,14 +134,15 @@ DriftScenarioResult RunDriftScenario(const DriftScenarioConfig& config) {
   // restream with unlimited migration.
   {
     TpstryPP cold_trie = result.fired ? drifted_trie : tracker.Snapshot();
-    LoomPartitioner cold(lopts, &cold_trie);
+    auto cold = MakePartitioner("loom", lopts, &cold_trie);
+    assert(cold.ok());
     RestreamOptions ropts;
     ropts.num_passes = config.cold_passes;
     ropts.order = RestreamOrder::kGain;
     ropts.seed = config.seed;
     WallTimer timer;
     const Restreamer restreamer(stream, ropts);
-    const RestreamResult cold_result = restreamer.Run(&cold);
+    const RestreamResult cold_result = restreamer.Run(cold->get());
     result.seconds_cold = timer.ElapsedSeconds();
     result.cut_cold = cold_result.edge_cut_fraction;
     result.migration_cold = MigrationFraction(original, cold_result.assignment);

@@ -97,10 +97,12 @@ PartitionerSet MakeStandardSet(const PartitionerOptions& popts,
                                const Workload& workload,
                                double frequency_threshold) {
   PartitionerSet set;
-  set.streaming.push_back(std::make_unique<HashPartitioner>(popts));
-  set.streaming.push_back(std::make_unique<LdgPartitioner>(popts));
-  set.streaming.push_back(std::make_unique<FennelPartitioner>(popts));
-  set.streaming.push_back(std::make_unique<BufferedLdgPartitioner>(popts));
+  for (const std::string& name : KnownPartitioners()) {
+    if (name == "loom") continue;
+    auto partitioner = MakePartitioner(name, popts);
+    assert(partitioner.ok());
+    set.streaming.push_back(std::move(partitioner).value());
+  }
 
   LoomOptions lopts;
   lopts.partitioner = popts;

@@ -11,12 +11,9 @@
 #include <vector>
 
 #include "core/loom.h"
+#include "core/partitioner_factory.h"
 #include "graph/generators.h"
 #include "metrics/metrics.h"
-#include "partition/buffered_ldg_partitioner.h"
-#include "partition/fennel_partitioner.h"
-#include "partition/hash_partitioner.h"
-#include "partition/ldg_partitioner.h"
 #include "partition/offline_partitioner.h"
 #include "stream/stream.h"
 #include "workload/query_engine.h"

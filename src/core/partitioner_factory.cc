@@ -1,0 +1,64 @@
+#include "core/partitioner_factory.h"
+
+#include <algorithm>
+
+#include "core/loom_partitioner.h"
+#include "partition/buffered_ldg_partitioner.h"
+#include "partition/fennel_partitioner.h"
+#include "partition/hash_partitioner.h"
+#include "partition/ldg_partitioner.h"
+
+namespace loom {
+
+const std::vector<std::string>& KnownPartitioners() {
+  static const std::vector<std::string> kNames = {
+      "hash", "ldg", "fennel", "ldg-buffered", "loom"};
+  return kNames;
+}
+
+bool IsKnownPartitioner(const std::string& name) {
+  const std::vector<std::string>& names = KnownPartitioners();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+Result<std::unique_ptr<StreamingPartitioner>> MakePartitioner(
+    const std::string& name, const PartitionerOptions& options) {
+  if (name == "hash") {
+    return std::unique_ptr<StreamingPartitioner>(
+        std::make_unique<HashPartitioner>(options));
+  }
+  if (name == "ldg") {
+    return std::unique_ptr<StreamingPartitioner>(
+        std::make_unique<LdgPartitioner>(options));
+  }
+  if (name == "fennel") {
+    return std::unique_ptr<StreamingPartitioner>(
+        std::make_unique<FennelPartitioner>(options));
+  }
+  if (name == "ldg-buffered") {
+    return std::unique_ptr<StreamingPartitioner>(
+        std::make_unique<BufferedLdgPartitioner>(options));
+  }
+  if (name == "loom") {
+    return Status::InvalidArgument(
+        "partitioner 'loom' needs a workload trie; use the LoomOptions "
+        "overload of MakePartitioner");
+  }
+  return Status::InvalidArgument("unknown partitioner '" + name + "'");
+}
+
+Result<std::unique_ptr<StreamingPartitioner>> MakePartitioner(
+    const std::string& name, const LoomOptions& options,
+    const TpstryPP* trie) {
+  if (name == "loom") {
+    if (trie == nullptr) {
+      return Status::InvalidArgument(
+          "partitioner 'loom' needs a non-null workload trie");
+    }
+    return std::unique_ptr<StreamingPartitioner>(
+        std::make_unique<LoomPartitioner>(options, trie));
+  }
+  return MakePartitioner(name, options.partitioner);
+}
+
+}  // namespace loom

@@ -64,6 +64,23 @@ struct DriftControllerOptions {
   uint32_t reaction_shards = 1;
 };
 
+/// Uniform options contract (see `ValidateRestreamOptions`): rejects —
+/// without mutating — the first invalid field: a NaN or negative
+/// `max_migration_fraction`, `reaction_passes == 0`,
+/// `reaction_shards == 0`, a detector `fire_threshold` outside [0, 1] (or
+/// NaN), `min_consecutive == 0`, or a `clear_threshold` that is NaN,
+/// negative or above `fire_threshold` (the hysteresis band would invert).
+Status ValidateDriftControllerOptions(const DriftControllerOptions& options);
+
+/// Sanitized copy of `options`: every field `ValidateDriftControllerOptions`
+/// rejects is clamped to the conservative end instead — a garbage migration
+/// fraction freezes migration (0.0), zero passes/shards become 1, a garbage
+/// fire threshold falls back to the default, and an inverted hysteresis
+/// band collapses (`clear_threshold = fire_threshold`). The DriftController
+/// constructor applies this to everything it is given.
+DriftControllerOptions SanitizeDriftControllerOptions(
+    DriftControllerOptions options);
+
 /// What a reaction did.
 struct DriftReaction {
   /// False when returned by a check that did not fire (MaybeRepartition).

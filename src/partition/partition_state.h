@@ -25,8 +25,9 @@ class PartitionAssignment {
   /// or a full partition.
   Status Assign(VertexId v, uint32_t part);
 
-  /// Assigns `v` to `part` even when the partition is at capacity — the
-  /// overflow escape hatch for streams that exceed k·C vertices, where
+  /// **[internal]** Assigns `v` to `part` even when the partition is at
+  /// capacity — the overflow escape hatch for streams that exceed k·C
+  /// vertices, where
   /// dropping the vertex would be worse than stretching the bound. Still
   /// fails on double assignment or a bad partition index; placements past C
   /// are counted in NumOverflowed().

@@ -65,6 +65,37 @@ struct PartitionerStats {
 };
 
 /// Base class for streaming partitioners.
+///
+/// ## Lifecycle (the supported surface)
+///
+/// A partitioner moves through these states; everything else in the class
+/// is plumbing for one of the arrows:
+///
+///   fresh ──OnVertex*──▶ streaming ──Finish──▶ finished
+///     ▲                                           │
+///     └────────────── Reset ◀────────────────────┘
+///
+///  * **Single pass**: `OnVertex` per arrival in stream order (or `Run` for
+///    a whole recorded stream), then `Finish` — after which every streamed
+///    vertex is assigned and `assignment()` is final for the pass.
+///  * **Restream**: `BeginPass(&prior)` rewinds to fresh with the previous
+///    pass's assignment installed as the scoring prior (optionally budgeted
+///    via `SetMigrationBudget`), then stream + `Finish` again. `Reset()` is
+///    the no-prior special case: back to fresh, nothing remembered.
+///  * **Adoption**: `AdoptAssignment` installs an externally composed
+///    result (a sharded merge, a keep-best reaction) as if a serial pass
+///    had just finished — the partitioner continues live from it.
+///  * **Sharding**: `CloneForShard` produces an un-streamed clone sharing
+///    only immutable inputs, for share-nothing parallel passes.
+///
+/// `stats()` always describes the *current* pass (BeginPass/Reset clear it;
+/// AdoptAssignment overwrites it with the merged stats). `options()` is
+/// immutable after construction.
+///
+/// Members marked **[internal]** (`SetShardCapacities`, the two-argument
+/// `SetMigrationBudget` overload) exist for the sharded restream driver and
+/// are not part of the supported public surface — their preconditions are
+/// tied to the shard-plan bookkeeping and they may change without notice.
 class StreamingPartitioner {
  public:
   explicit StreamingPartitioner(const PartitionerOptions& options)
@@ -117,6 +148,10 @@ class StreamingPartitioner {
   /// this partitioner's own assignment (copy it first).
   virtual void BeginPass(const PartitionAssignment* prior);
 
+  /// Rewinds to the fresh state: discards the assignment, stats, prior and
+  /// any migration budget. Equivalent to `BeginPass(nullptr)`.
+  void Reset() { BeginPass(nullptr); }
+
   const PartitionAssignment& assignment() const { return assignment_; }
   const PartitionerOptions& options() const { return options_; }
   const PartitionerStats& stats() const { return stats_; }
@@ -141,8 +176,8 @@ class StreamingPartitioner {
   /// effect without a prior.
   void SetMigrationBudget(uint64_t max_moves);
 
-  /// Shard-clone variant: installs explicit per-partition home claims
-  /// instead of deriving them from the whole prior. A shard clone replays
+  /// **[internal]** Shard-clone variant: installs explicit per-partition
+  /// home claims instead of deriving them from the whole prior. A shard clone replays
   /// only its own shard's vertices, so only *their* home slots may be
   /// reserved — claims for partitions owned by other shards would never
   /// settle and would permanently block inbound moves. `home_claims` must
@@ -153,8 +188,8 @@ class StreamingPartitioner {
   void SetMigrationBudget(uint64_t max_moves,
                           std::vector<uint32_t> home_claims);
 
-  /// Confines this partitioner to per-partition capacity slices (see
-  /// PartitionAssignment::SetCapacities). The sharded restream driver calls
+  /// **[internal]** Confines this partitioner to per-partition capacity
+  /// slices (see PartitionAssignment::SetCapacities). The sharded restream driver calls
   /// this after BeginPass so each clone's slice of every partition sums
   /// across shards to at most the global bound C. An empty vector is a
   /// no-op (scalar capacity stays in force).

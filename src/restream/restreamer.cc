@@ -30,6 +30,19 @@ std::string RestreamOrderName(RestreamOrder order) {
   return "unknown";
 }
 
+Status ValidateRestreamOptions(const RestreamOptions& options) {
+  if (options.num_passes == 0) {
+    return Status::InvalidArgument("RestreamOptions.num_passes must be >= 1");
+  }
+  if (std::isnan(options.max_migration_fraction) ||
+      options.max_migration_fraction < 0.0) {
+    return Status::InvalidArgument(
+        "RestreamOptions.max_migration_fraction must be a non-negative "
+        "number");
+  }
+  return Status::OK();
+}
+
 RestreamOptions SanitizeRestreamOptions(RestreamOptions options) {
   if (options.num_passes < 1) options.num_passes = 1;
   if (std::isnan(options.max_migration_fraction) ||

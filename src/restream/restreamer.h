@@ -77,7 +77,20 @@ struct RestreamOptions {
   double max_migration_fraction = 1.0;
 };
 
-/// Validated copy of `options`: `num_passes` clamped to >= 1, and a NaN or
+/// Uniform options contract (shared with `DriftControllerOptions` and
+/// `ServiceOptions`): every options struct ships a `Validate*Options` that
+/// *rejects* — returns InvalidArgument naming the first bad field, mutating
+/// nothing — and a `Sanitize*Options` that *clamps* — a total function
+/// mapping any input to a safe configuration, always towards the
+/// conservative end. Facade entry points (`Service::Create`) validate so
+/// callers hear about mistakes; internal constructors sanitize so garbage
+/// can never reach the arithmetic.
+///
+/// Rejects: `num_passes == 0`, and a NaN or negative
+/// `max_migration_fraction` (values > 1 are valid — they mean unbudgeted).
+Status ValidateRestreamOptions(const RestreamOptions& options);
+
+/// Sanitized copy of `options`: `num_passes` clamped to >= 1, and a NaN or
 /// negative `max_migration_fraction` rejected by clamping it to 0.0 — the
 /// conservative end (a garbage budget freezes migration; it must never
 /// silently become an *unbudgeted* pass, nor feed NaN into the move

@@ -1,0 +1,58 @@
+#include "serving/placement_snapshot.h"
+
+#include <algorithm>
+
+namespace loom {
+
+PlacementSnapshot MakePlacementSnapshot(const PartitionAssignment& assignment,
+                                        const std::vector<Label>& label_of,
+                                        uint32_t num_labels, uint64_t epoch) {
+  PlacementSnapshot snapshot;
+  snapshot.epoch = epoch;
+  snapshot.k = assignment.k();
+  snapshot.num_labels = num_labels;
+  snapshot.num_assigned = assignment.NumAssigned();
+  snapshot.sizes = assignment.Sizes();
+  snapshot.label_counts.assign(
+      static_cast<size_t>(assignment.k()) * num_labels, 0);
+
+  const size_t bound = assignment.IdBound();
+  snapshot.part_of.resize(bound);
+  for (VertexId v = 0; v < bound; ++v) {
+    const int32_t p = assignment.PartOf(v);
+    snapshot.part_of[v] = p;
+    if (p < 0) continue;
+    const Label label = v < label_of.size() ? label_of[v] : 0;
+    if (label < num_labels) {
+      ++snapshot.label_counts[static_cast<size_t>(p) * num_labels + label];
+    }
+  }
+  return snapshot;
+}
+
+std::vector<uint32_t> TouchedPartitions(const PlacementSnapshot& snapshot,
+                                        const LabeledGraph& query) {
+  // The query's label set (small patterns: linear dedup is fine).
+  std::vector<Label> labels;
+  for (VertexId v = 0; v < query.NumVertices(); ++v) {
+    const Label l = query.LabelOf(v);
+    if (l < snapshot.num_labels &&
+        std::find(labels.begin(), labels.end(), l) == labels.end()) {
+      labels.push_back(l);
+    }
+  }
+
+  std::vector<uint32_t> touched;
+  for (uint32_t p = 0; p < snapshot.k; ++p) {
+    const size_t base = static_cast<size_t>(p) * snapshot.num_labels;
+    for (const Label l : labels) {
+      if (snapshot.label_counts[base + l] > 0) {
+        touched.push_back(p);
+        break;
+      }
+    }
+  }
+  return touched;
+}
+
+}  // namespace loom

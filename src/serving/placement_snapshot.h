@@ -1,0 +1,69 @@
+#ifndef LOOM_SERVING_PLACEMENT_SNAPSHOT_H_
+#define LOOM_SERVING_PLACEMENT_SNAPSHOT_H_
+
+/// \file
+/// The immutable placement snapshot the serving layer publishes: a frozen
+/// copy of the live `PartitionAssignment` plus the per-partition label
+/// histogram that routes pattern queries. Snapshots are published through a
+/// `SnapshotBoard` (common/snapshot.h), so `Locate`/`Touches` readers never
+/// take a lock, never block on an ingest batch or a drift reaction, and can
+/// never observe a torn assignment: they either see the whole snapshot of
+/// epoch e or the whole snapshot of epoch e+1.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "partition/partition_state.h"
+
+namespace loom {
+
+/// A frozen, self-contained view of one placement epoch. All fields are
+/// immutable after construction (the serving layer publishes snapshots via
+/// `SnapshotBoard`, whose readers rely on that).
+struct PlacementSnapshot {
+  /// Publication epoch (1-based, monotone across a service's lifetime; 0
+  /// only in the pre-ingest snapshot published at service creation).
+  uint64_t epoch = 0;
+  /// Number of partitions.
+  uint32_t k = 0;
+  /// Label alphabet size of `label_counts`.
+  uint32_t num_labels = 0;
+  /// Partition of each vertex id, -1 while unassigned; index = VertexId.
+  std::vector<int32_t> part_of;
+  /// Vertex count per partition.
+  std::vector<uint32_t> sizes;
+  /// Assigned vertices per (partition, label), flattened as
+  /// `partition * num_labels + label` — the routing index for `Touches`.
+  std::vector<uint32_t> label_counts;
+  /// Total assigned vertices.
+  size_t num_assigned = 0;
+
+  /// Partition of `v`, or -1 when unassigned / unknown at snapshot time.
+  int32_t Locate(VertexId v) const {
+    return v < part_of.size() ? part_of[v] : -1;
+  }
+};
+
+/// Freezes `assignment` into a snapshot. `label_of` maps VertexId to label
+/// for every vertex the assignment may contain (ids past its end count as
+/// label 0); `num_labels` sizes the routing histogram and must exceed every
+/// label in `label_of`. `epoch` is stamped by the caller (the service owns
+/// the epoch sequence).
+PlacementSnapshot MakePlacementSnapshot(const PartitionAssignment& assignment,
+                                        const std::vector<Label>& label_of,
+                                        uint32_t num_labels, uint64_t epoch);
+
+/// The partitions a pattern query can possibly touch under `snapshot`:
+/// every partition holding at least one vertex whose label occurs in
+/// `query`. Sorted ascending. This is a sound *superset* of the partitions
+/// any execution of the query actually visits — the matcher only probes
+/// label-compatible candidates, so every traversal endpoint carries a query
+/// label — which makes it the broadcast set a distributed router would ship
+/// the query to. Labels outside the snapshot's alphabet contribute nothing.
+std::vector<uint32_t> TouchedPartitions(const PlacementSnapshot& snapshot,
+                                        const LabeledGraph& query);
+
+}  // namespace loom
+
+#endif  // LOOM_SERVING_PLACEMENT_SNAPSHOT_H_

@@ -1,0 +1,277 @@
+#ifndef LOOM_SERVING_SERVICE_H_
+#define LOOM_SERVING_SERVICE_H_
+
+/// \file
+/// `loom::Service` — the concurrent online serving facade and the one
+/// supported way to stand up the full pipeline (window → matcher →
+/// partitioner → workload tracker → drift controller). See docs/API.md for
+/// the quickstart and the supported public surface.
+///
+/// Threading model:
+///
+///  * **Ingest** (`Ingest`, any thread): arrivals are validated on a
+///    vertex-sharded front end, then handed to a single pipeline worker
+///    (SPSC: producers serialise on a mutex, one `ThreadPool(1)` consumes
+///    FIFO) that drives the streaming partitioner, records the live stream
+///    for later replay, and publishes placement snapshots. Batches are
+///    processed strictly in submission order, so batched ingest through one
+///    worker is result-identical to the serial pipeline on the same stream.
+///  * **Reads** (`Locate`, `Touches`, `Snapshot`, `Stats`, any thread,
+///    any concurrency): served from the latest *immutable*
+///    `PlacementSnapshot` published through a `SnapshotBoard`
+///    (common/snapshot.h). The read path is one atomic acquire load — it
+///    never takes a lock, never blocks on an ingest batch or a drift
+///    reaction, and can never observe a torn assignment.
+///  * **Workload + drift** (`ObserveQuery`, any thread): observed queries
+///    feed the sliding-window `WorkloadTracker` under a mutex; every
+///    `drift_check_every_queries` observations the `DriftController` checks
+///    the summary against the expectation the live placement was built for.
+///    On a confirmed fire the service enqueues a *reaction task* onto the
+///    pipeline worker: re-point LOOM at the drifted summary, run the
+///    bounded-migration sharded restream reaction (PR 5's engine) against
+///    the recorded stream, adopt the keep-best result, and publish a fresh
+///    snapshot atomically. Reads continue un-blocked throughout; ingest
+///    batches queue behind the reaction (FIFO) and resume after it.
+///
+/// Lifecycle: `Create` → any interleaving of `Ingest` / reads /
+/// `ObserveQuery` → `Seal` (drain, final `Finish`, final snapshot) → reads
+/// remain valid until destruction. `Seal` requires that no thread is still
+/// calling `Ingest`/`ObserveQuery`.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/snapshot.h"
+#include "common/thread_pool.h"
+#include "core/loom_partitioner.h"
+#include "drift/drift_controller.h"
+#include "partition/partitioner.h"
+#include "serving/placement_snapshot.h"
+#include "serving/service_options.h"
+#include "stream/stream.h"
+#include "tpstry/workload_tracker.h"
+#include "workload/workload.h"
+
+namespace loom {
+
+/// Point-in-time counters returned by `Service::Stats()` — every field is
+/// read from atomics, so `Stats` is safe (and cheap) to call concurrently
+/// with ingest, queries and reactions.
+struct ServiceStats {
+  // --- ingest ---
+  uint64_t ingested_vertices = 0;
+  uint64_t ingested_batches = 0;
+  /// Batches rejected by front-end validation (nothing partial is applied).
+  uint64_t rejected_batches = 0;
+
+  // --- queries ---
+  uint64_t locate_queries = 0;
+  uint64_t touches_queries = 0;
+  uint64_t observed_queries = 0;
+
+  // --- snapshots ---
+  uint64_t snapshots_published = 0;
+  /// Epoch of the latest published snapshot.
+  uint64_t snapshot_epoch = 0;
+
+  // --- drift loop ---
+  uint64_t drift_checks = 0;
+  uint64_t drift_fires = 0;
+  /// Completed reactions (a fire enqueues exactly one).
+  uint64_t drift_reactions = 0;
+  /// True while a reaction task is executing on the pipeline worker.
+  bool reaction_running = false;
+  double last_reaction_seconds = 0.0;
+  double last_reaction_edge_cut_before = 0.0;
+  double last_reaction_edge_cut_after = 0.0;
+  double last_reaction_migration_fraction = 0.0;
+
+  // --- partitioner pressure (from PartitionerStats, synced per batch) ---
+  uint64_t overflow_fallbacks = 0;
+  uint64_t forced_placements = 0;
+  uint64_t assign_errors = 0;
+
+  bool sealed = false;
+};
+
+/// The serving facade. Construct via `Create`; all public methods are
+/// thread-safe per the header contract above.
+class Service {
+ public:
+  /// Builds the full pipeline for `workload`: the TPSTry++ summary, the
+  /// partitioner named by `options.partitioner` (via the factory), the
+  /// workload tracker and the drift controller primed with the workload's
+  /// motif distribution as reference. Errors with InvalidArgument when
+  /// `ValidateServiceOptions` rejects, and propagates trie/partitioner
+  /// construction failures. An empty (epoch 0) snapshot is published
+  /// immediately, so reads are valid before the first arrival.
+  static Result<std::unique_ptr<Service>> Create(const Workload& workload,
+                                                 const ServiceOptions& options);
+
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Ingests one batch of arrivals (the span is copied before return).
+  /// The batch is validated on the front end — an invalid vertex id or a
+  /// self-loop back edge rejects the WHOLE batch with InvalidArgument and
+  /// applies nothing — then enqueued for the pipeline worker. Returns
+  /// FailedPrecondition after `Seal`. Arrivals must satisfy the stream
+  /// invariants (each vertex once, back edges to earlier arrivals); batches
+  /// from multiple threads are applied in `Ingest`-call order.
+  Status Ingest(const VertexArrival* arrivals, size_t count);
+
+  /// Vector convenience overload of the span form.
+  Status Ingest(const std::vector<VertexArrival>& arrivals) {
+    return Ingest(arrivals.data(), arrivals.size());
+  }
+
+  /// Partition of `v` in the latest published snapshot, or -1 while
+  /// unassigned (still windowed, not yet published, or never ingested).
+  /// Lock-free; never blocks.
+  int32_t Locate(VertexId v) const;
+
+  /// Partitions the pattern `query` can touch under the latest snapshot
+  /// (sorted; a sound superset of any execution's actual partitions — the
+  /// broadcast set a distributed router would use). Lock-free; never
+  /// blocks. Does NOT feed the drift loop — pair with `ObserveQuery`.
+  std::vector<uint32_t> Touches(const LabeledGraph& query) const;
+
+  /// The latest published snapshot (never null; epoch 0 before the first
+  /// ingest publish). Valid until the service is destroyed.
+  const PlacementSnapshot* Snapshot() const { return board_.Read(); }
+
+  /// Feeds one executed query into the workload tracker and, at the
+  /// configured cadence, runs a drift check that may enqueue a background
+  /// reaction. Serialised internally; errors propagate from
+  /// `WorkloadTracker::Observe` (e.g. out-of-alphabet labels).
+  Status ObserveQuery(const LabeledGraph& query);
+
+  /// Point-in-time counters; safe from any thread.
+  ServiceStats Stats() const;
+
+  /// Blocks until every batch (and reaction) enqueued before the call has
+  /// been processed. Reads observe the resulting snapshot only after the
+  /// publish cadence allows — `Seal` for an unconditional final publish.
+  void Flush();
+
+  /// Drains the pipeline, finishes the partitioner (assigning every
+  /// windowed vertex) and publishes the final snapshot. Further `Ingest`
+  /// calls fail; reads stay valid. Idempotent-hostile: second call returns
+  /// FailedPrecondition. Callers must have stopped `Ingest`/`ObserveQuery`
+  /// concurrency before sealing.
+  Status Seal();
+
+  /// The stream recorded so far. Only meaningful once sealed or flushed
+  /// (the pipeline worker appends concurrently otherwise).
+  const GraphStream& RecordedStream() const { return recorded_; }
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  Service(ServiceOptions options, uint32_t num_labels,
+          std::unique_ptr<TpstryPP> trie,
+          std::unique_ptr<StreamingPartitioner> partitioner,
+          MotifDistribution reference);
+
+  /// Front-end batch validation (vertex-sharded when configured).
+  Status ValidateBatch(const VertexArrival* arrivals, size_t count) const;
+
+  /// Pipeline-thread batch body: partitioner feed + stream recording +
+  /// snapshot cadence.
+  void ProcessBatch(uint64_t seq, std::vector<VertexArrival>* batch);
+
+  /// Pipeline-thread reaction body (see the header contract).
+  void RunReaction(std::unique_ptr<TpstryPP> drifted_trie,
+                   MotifDistribution current);
+
+  /// Pipeline-thread: freeze + publish the live assignment.
+  void PublishSnapshot();
+
+  /// Pipeline-thread: mirror PartitionerStats pressure counters into
+  /// atomics for `Stats`.
+  void SyncPressureCounters();
+
+  /// Wraps a pipeline task with the flush/drain accounting.
+  template <typename F>
+  void EnqueuePipelineTask(F&& task);
+
+  ServiceOptions options_;
+  const uint32_t num_labels_;
+
+  /// Workload summary the partitioner scores against; swapped on reaction
+  /// (pipeline thread only after construction). Null for non-LOOM
+  /// partitioners... except it also seeds the drift reference, so it is
+  /// always built.
+  std::unique_ptr<TpstryPP> trie_;
+  std::unique_ptr<StreamingPartitioner> partitioner_;
+  /// Non-null iff `partitioner_` is the LOOM partitioner (SetTrie target).
+  LoomPartitioner* loom_ = nullptr;
+
+  /// Live stream recording + label table (pipeline thread only).
+  GraphStream recorded_;
+  std::vector<Label> label_of_;
+  uint64_t next_epoch_ = 0;
+
+  SnapshotBoard<PlacementSnapshot> board_;
+
+  /// Workload/drift state, guarded by `tracker_mu_`. The controller is
+  /// additionally touched by the reaction task WITHOUT this mutex — that is
+  /// safe because `reaction_pending_` gates every mutex-side access: the
+  /// flag is set (release) before the reaction is enqueued and cleared
+  /// (release) after it completes, and `ObserveQuery` skips the controller
+  /// while it is set (acquire), so controller accesses are totally ordered
+  /// through the flag and the pipeline queue.
+  mutable std::mutex tracker_mu_;
+  WorkloadTracker tracker_;
+  DriftController controller_;
+  std::atomic<bool> reaction_pending_{false};
+  std::atomic<bool> reaction_running_{false};
+
+  /// Producer-side pipeline accounting.
+  std::mutex producer_mu_;
+  uint64_t tasks_enqueued_ = 0;   // guarded by producer_mu_
+  uint64_t next_batch_seq_ = 0;   // guarded by producer_mu_
+  bool sealed_ = false;           // guarded by producer_mu_
+  std::mutex flush_mu_;
+  std::condition_variable flush_cv_;
+  std::atomic<uint64_t> tasks_done_{0};
+
+  // Counters (relaxed atomics; Stats() reads them individually).
+  std::atomic<uint64_t> ingested_vertices_{0};
+  std::atomic<uint64_t> ingested_batches_{0};
+  std::atomic<uint64_t> rejected_batches_{0};
+  mutable std::atomic<uint64_t> locate_queries_{0};
+  mutable std::atomic<uint64_t> touches_queries_{0};
+  std::atomic<uint64_t> observed_queries_{0};
+  std::atomic<uint64_t> snapshots_published_{0};
+  std::atomic<uint64_t> snapshot_epoch_{0};
+  std::atomic<uint64_t> drift_checks_{0};
+  std::atomic<uint64_t> drift_fires_{0};
+  std::atomic<uint64_t> drift_reactions_{0};
+  std::atomic<double> last_reaction_seconds_{0.0};
+  std::atomic<double> last_reaction_cut_before_{0.0};
+  std::atomic<double> last_reaction_cut_after_{0.0};
+  std::atomic<double> last_reaction_migration_{0.0};
+  std::atomic<uint64_t> overflow_fallbacks_{0};
+  std::atomic<uint64_t> forced_placements_{0};
+  std::atomic<uint64_t> assign_errors_{0};
+  std::atomic<bool> sealed_flag_{false};
+
+  /// Front-end validation pool (null when `front_end_shards` <= 1).
+  std::unique_ptr<ThreadPool> front_pool_;
+  /// The single pipeline worker. Declared LAST so its destructor — which
+  /// drains and joins — runs FIRST, before any state its tasks reference.
+  ThreadPool pipeline_;
+};
+
+}  // namespace loom
+
+#endif  // LOOM_SERVING_SERVICE_H_

@@ -202,7 +202,7 @@ TEST_F(BenchDriverTest, EdgeCutJsonIsValidWithExpectedKeys) {
   const std::string text = ReadFileOrDie(*out_dir_ + "/BENCH_edge_cut.json");
   ASSERT_FALSE(text.empty());
   EXPECT_TRUE(JsonChecker(text).Valid()) << text;
-  EXPECT_NE(text.find("\"schema\": \"loom-bench-edge-cut-v4\""),
+  EXPECT_NE(text.find("\"schema\": \"loom-bench-edge-cut-v5\""),
             std::string::npos);
   for (const char* key :
        {"\"edge_cut_fraction\"", "\"balance\"", "\"vertices_per_second\"",
@@ -267,6 +267,30 @@ TEST_F(BenchDriverTest, EdgeCutJsonHasDriftSection) {
     EXPECT_NE(text.find(key), std::string::npos)
         << "missing drift key " << key;
   }
+}
+
+TEST_F(BenchDriverTest, EdgeCutJsonHasServingSection) {
+  const std::string text = ReadFileOrDie(*out_dir_ + "/BENCH_edge_cut.json");
+  ASSERT_FALSE(text.empty());
+  EXPECT_NE(text.find("\"serving\": ["), std::string::npos)
+      << "missing serving section";
+  // One latency row per operation of the concurrent serving scenario.
+  for (const char* op :
+       {"\"ingest-batch\"", "\"locate\"", "\"touches\""}) {
+    EXPECT_NE(text.find(op), std::string::npos) << "missing operation " << op;
+  }
+  for (const char* key :
+       {"\"serving-under-drift\"", "\"num_clients\"", "\"front_end_shards\"",
+        "\"p50_seconds\"", "\"p99_seconds\"", "\"p999_seconds\"",
+        "\"queries_during_reaction\"", "\"drift_reactions\"",
+        "\"snapshot_epoch\""}) {
+    EXPECT_NE(text.find(key), std::string::npos)
+        << "missing serving key " << key;
+  }
+  // The hard liveness/soundness floor CI also enforces: the drift loop ran
+  // and the partitioner never errored while clients were reading.
+  EXPECT_NE(text.find("\"assign_errors\": 0"), std::string::npos)
+      << "serving scenario reported assignment errors";
 }
 
 TEST_F(BenchDriverTest, MicroJsonIsValidWithExpectedKeys) {

@@ -8,11 +8,13 @@
 #include <algorithm>
 #include <cmath>
 
+#include <memory>
+
+#include "core/partitioner_factory.h"
 #include "drift/drift_controller.h"
 #include "drift/drift_detector.h"
 #include "drift_scenario.h"
 #include "metrics/metrics.h"
-#include "partition/ldg_partitioner.h"
 #include "restream/restreamer.h"
 #include "workload/query_builders.h"
 
@@ -32,6 +34,15 @@ MotifDistribution Dist(std::initializer_list<MotifSupport> entries) {
               return a.canonical_hash < b.canonical_hash;
             });
   return d;
+}
+
+// Partitioners come through the factory — the same construction path the
+// benches and tools use.
+std::unique_ptr<StreamingPartitioner> MakeLdg(
+    const PartitionerOptions& popts) {
+  auto made = MakePartitioner("ldg", popts);
+  EXPECT_TRUE(made.ok());
+  return std::move(made).value();
 }
 
 // ------------------------------------------------------------- distances
@@ -197,18 +208,18 @@ TEST(MigrationBudgetTest, BudgetedPassNeverExceedsTheBudget) {
   popts.num_edges_hint = g.NumEdges();
 
   for (const double fraction : {0.0, 0.05, 0.15, 0.30}) {
-    LdgPartitioner ldg(popts);
-    ldg.Run(stream);
-    const PartitionAssignment prior = ldg.assignment();
+    auto ldg = MakeLdg(popts);
+    ldg->Run(stream);
+    const PartitionAssignment prior = ldg->assignment();
 
     RestreamOptions ropts;
     ropts.order = RestreamOrder::kDecisive;
     ropts.max_migration_fraction = fraction;
     const Restreamer restreamer(stream, ropts);
     const RestreamPassStats stats = restreamer.RunIncrementalPass(
-        &ldg, prior, MigrationBudgetMoves(prior, fraction));
+        ldg.get(), prior, MigrationBudgetMoves(prior, fraction));
 
-    const MigrationStats moved = ComputeMigration(prior, ldg.assignment());
+    const MigrationStats moved = ComputeMigration(prior, ldg->assignment());
     EXPECT_LE(moved.moved, MigrationBudgetMoves(prior, fraction))
         << "fraction " << fraction;
     EXPECT_LE(stats.migration_fraction, fraction + 1e-12);
@@ -216,7 +227,7 @@ TEST(MigrationBudgetTest, BudgetedPassNeverExceedsTheBudget) {
     // budgeted pass must show no capacity pressure at all.
     EXPECT_EQ(stats.forced_placements, 0u);
     EXPECT_EQ(stats.assign_errors, 0u);
-    EXPECT_TRUE(AllAssigned(g, ldg.assignment()));
+    EXPECT_TRUE(AllAssigned(g, ldg->assignment()));
     if (fraction == 0.0) {
       // A zero budget is a pure re-affirmation pass: nothing moves.
       EXPECT_EQ(moved.moved, 0u);
@@ -278,10 +289,10 @@ TEST(MigrationBudgetTest, UnlimitedBudgetPreservesPlainRestreamSemantics) {
   RestreamOptions unlimited = plain;
   unlimited.max_migration_fraction = 1.0;
 
-  LdgPartitioner a(popts);
-  LdgPartitioner b(popts);
-  const RestreamResult ra = Restreamer(stream, plain).Run(&a);
-  const RestreamResult rb = Restreamer(stream, unlimited).Run(&b);
+  auto a = MakeLdg(popts);
+  auto b = MakeLdg(popts);
+  const RestreamResult ra = Restreamer(stream, plain).Run(a.get());
+  const RestreamResult rb = Restreamer(stream, unlimited).Run(b.get());
   ASSERT_EQ(ra.passes.size(), rb.passes.size());
   EXPECT_EQ(ra.edge_cut_fraction, rb.edge_cut_fraction);
   for (size_t i = 0; i < ra.passes.size(); ++i) {
@@ -300,14 +311,14 @@ TEST(MigrationBudgetTest, DecisiveReplayIsAPermutationOfAllVertices) {
   PartitionerOptions popts;
   popts.k = 4;
   popts.num_vertices_hint = g.NumVertices();
-  LdgPartitioner ldg(popts);
-  ldg.Run(stream);
+  auto ldg = MakeLdg(popts);
+  ldg->Run(stream);
 
   RestreamOptions ropts;
   const Restreamer restreamer(stream, ropts);
   Rng rng2(1);
   const GraphStream replay = restreamer.ReplayStream(
-      RestreamOrder::kDecisive, ldg.assignment(), rng2);
+      RestreamOrder::kDecisive, ldg->assignment(), rng2);
   ASSERT_EQ(replay.NumVertices(), g.NumVertices());
   std::vector<VertexId> ids;
   for (const VertexArrival& a : replay.arrivals()) ids.push_back(a.vertex);
@@ -325,9 +336,9 @@ TEST(DriftControllerTest, NoReactionWithoutAConfirmedDrift) {
   PartitionerOptions popts;
   popts.k = 4;
   popts.num_vertices_hint = g.NumVertices();
-  LdgPartitioner ldg(popts);
-  ldg.Run(stream);
-  const PartitionAssignment before = ldg.assignment();
+  auto ldg = MakeLdg(popts);
+  ldg->Run(stream);
+  const PartitionAssignment before = ldg->assignment();
 
   DriftControllerOptions options;
   DriftController controller(options);
@@ -335,12 +346,12 @@ TEST(DriftControllerTest, NoReactionWithoutAConfirmedDrift) {
   controller.SetReference(reference);
 
   const DriftReaction r =
-      controller.MaybeRepartition(reference, stream, &ldg);
+      controller.MaybeRepartition(reference, stream, ldg.get());
   EXPECT_FALSE(r.reacted);
   EXPECT_FALSE(r.signal.fired);
   EXPECT_EQ(controller.NumReactions(), 0u);
   // The live assignment is untouched.
-  EXPECT_EQ(ComputeMigration(before, ldg.assignment()).moved, 0u);
+  EXPECT_EQ(ComputeMigration(before, ldg->assignment()).moved, 0u);
 }
 
 TEST(DriftControllerTest, ReactionStaysUnderBudgetAndNeverPublishesWorse) {
@@ -352,9 +363,9 @@ TEST(DriftControllerTest, ReactionStaysUnderBudgetAndNeverPublishesWorse) {
   popts.k = 6;
   popts.num_vertices_hint = g.NumVertices();
   popts.num_edges_hint = g.NumEdges();
-  LdgPartitioner ldg(popts);
-  ldg.Run(stream);
-  const PartitionAssignment before = ldg.assignment();
+  auto ldg = MakeLdg(popts);
+  ldg->Run(stream);
+  const PartitionAssignment before = ldg->assignment();
   const double cut_before = EdgeCutFraction(g, before);
 
   DriftControllerOptions options;
@@ -365,7 +376,7 @@ TEST(DriftControllerTest, ReactionStaysUnderBudgetAndNeverPublishesWorse) {
 
   const MotifDistribution drifted = Dist({{2, 1.0}});
   const DriftReaction r =
-      controller.MaybeRepartition(drifted, stream, &ldg);
+      controller.MaybeRepartition(drifted, stream, ldg.get());
   ASSERT_TRUE(r.reacted);
   EXPECT_TRUE(r.signal.fired);
   EXPECT_EQ(controller.NumReactions(), 1u);

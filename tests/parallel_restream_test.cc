@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/loom.h"
+#include "core/partitioner_factory.h"
 #include "drift/drift_controller.h"
 #include "graph/generators.h"
 #include "metrics/metrics.h"
@@ -418,12 +419,11 @@ TEST(ParallelRestreamTest, LoomCloneSharesOnlyTheTrie) {
 
 TEST(ParallelRestreamTest, EveryStandardPartitionerIsCloneable) {
   const PartitionerOptions popts = Opts(4, 100);
-  HashPartitioner hash(popts);
-  LdgPartitioner ldg(popts);
-  FennelPartitioner fennel(popts);
-  BufferedLdgPartitioner buffered(popts);
-  for (StreamingPartitioner* p :
-       std::vector<StreamingPartitioner*>{&hash, &ldg, &fennel, &buffered}) {
+  for (const std::string& name : KnownPartitioners()) {
+    if (name == "loom") continue;  // the LOOM clone test above covers it
+    auto made = MakePartitioner(name, popts);
+    ASSERT_TRUE(made.ok()) << name;
+    const auto& p = *made;
     const auto clone = p->CloneForShard();
     ASSERT_NE(clone, nullptr) << p->Name();
     EXPECT_EQ(clone->Name(), p->Name());

@@ -1,0 +1,93 @@
+// The partitioner factory is the one supported construction path for every
+// streaming partitioner; these tests pin its registry, its error contract,
+// and the name round-trip that keeps bench tables and CLI flags honest.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/loom.h"
+#include "core/partitioner_factory.h"
+#include "workload/query_builders.h"
+
+namespace loom {
+namespace {
+
+Workload TinyWorkload() {
+  Workload w;
+  (void)w.Add("path", PathQuery({0, 1}), 1.0);
+  w.Normalize();
+  return w;
+}
+
+TEST(PartitionerFactoryTest, RegistryListsTheCanonicalNames) {
+  const std::vector<std::string>& names = KnownPartitioners();
+  const std::vector<std::string> want = {"hash", "ldg", "fennel",
+                                         "ldg-buffered", "loom"};
+  EXPECT_EQ(names, want);
+  for (const std::string& name : names) {
+    EXPECT_TRUE(IsKnownPartitioner(name)) << name;
+  }
+  EXPECT_FALSE(IsKnownPartitioner("metis"));
+  EXPECT_FALSE(IsKnownPartitioner(""));
+  EXPECT_FALSE(IsKnownPartitioner("LDG"));  // names are case-sensitive
+}
+
+TEST(PartitionerFactoryTest, NamesRoundTripThroughConstruction) {
+  PartitionerOptions popts;
+  popts.k = 4;
+  popts.num_vertices_hint = 100;
+  LoomOptions lopts;
+  lopts.partitioner = popts;
+  const Workload workload = TinyWorkload();
+  auto trie = BuildTrie(workload, lopts.paths_only);
+  ASSERT_TRUE(trie.ok());
+
+  for (const std::string& name : KnownPartitioners()) {
+    auto made = MakePartitioner(name, lopts, trie->get());
+    ASSERT_TRUE(made.ok()) << name;
+    EXPECT_EQ((*made)->Name(), name);
+  }
+}
+
+TEST(PartitionerFactoryTest, UnknownNameIsInvalidArgument) {
+  PartitionerOptions popts;
+  auto plain = MakePartitioner("metis", popts);
+  EXPECT_FALSE(plain.ok());
+  EXPECT_EQ(plain.status().code(), StatusCode::kInvalidArgument);
+
+  LoomOptions lopts;
+  auto full = MakePartitioner("metis", lopts, nullptr);
+  EXPECT_FALSE(full.ok());
+  EXPECT_EQ(full.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PartitionerFactoryTest, LoomRequiresTheTrieOverload) {
+  // The plain overload cannot build LOOM (no trie to give it).
+  PartitionerOptions popts;
+  auto plain = MakePartitioner("loom", popts);
+  EXPECT_FALSE(plain.ok());
+  EXPECT_EQ(plain.status().code(), StatusCode::kInvalidArgument);
+
+  // And the full overload still demands a non-null trie.
+  LoomOptions lopts;
+  auto no_trie = MakePartitioner("loom", lopts, nullptr);
+  EXPECT_FALSE(no_trie.ok());
+  EXPECT_EQ(no_trie.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PartitionerFactoryTest, ObliviousNamesIgnoreTheTrie) {
+  // Workload-oblivious partitioners construct fine with or without a trie.
+  LoomOptions lopts;
+  lopts.partitioner.k = 3;
+  for (const std::string& name : KnownPartitioners()) {
+    if (name == "loom") continue;
+    auto made = MakePartitioner(name, lopts, nullptr);
+    ASSERT_TRUE(made.ok()) << name;
+    EXPECT_EQ((*made)->Name(), name);
+  }
+}
+
+}  // namespace
+}  // namespace loom

@@ -6,7 +6,7 @@
 //
 // Usage:
 //   loom_partition --graph g.loom --workload w.loom --out assignment.loom
-//                  [--partitioner loom|ldg|fennel|hash|metis]
+//                  [--partitioner loom|ldg|fennel|ldg-buffered|hash|metis]
 //                  [--k 8] [--window 1024] [--threshold 0.2]
 //                  [--order random|bfs|dfs|adversarial|stochastic|natural]
 //                  [--slack 1.1] [--seed 42] [--traversal-weights]
@@ -18,11 +18,9 @@
 #include <string>
 
 #include "core/loom.h"
+#include "core/partitioner_factory.h"
 #include "graph/io.h"
 #include "metrics/metrics.h"
-#include "partition/fennel_partitioner.h"
-#include "partition/hash_partitioner.h"
-#include "partition/ldg_partitioner.h"
 #include "partition/offline_partitioner.h"
 #include "partition/partition_io.h"
 #include "stream/stream.h"
@@ -122,7 +120,8 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &args)) {
     std::fprintf(stderr,
                  "usage: loom_partition --graph G --out A [--workload W] "
-                 "[--partitioner loom|ldg|fennel|hash|metis] [--k K] "
+                 "[--partitioner loom|ldg|fennel|ldg-buffered|hash|metis] "
+                 "[--k K] "
                  "[--window N] [--threshold T] [--order O] [--slack S] "
                  "[--seed N] [--traversal-weights] [--evaluate]\n");
     return 2;
@@ -196,17 +195,13 @@ int main(int argc, char** argv) {
     offline_result = std::move(offline).value();
     result = &offline_result;
   } else {
-    if (args.partitioner == "ldg") {
-      streaming = std::make_unique<LdgPartitioner>(popts);
-    } else if (args.partitioner == "fennel") {
-      streaming = std::make_unique<FennelPartitioner>(popts);
-    } else if (args.partitioner == "hash") {
-      streaming = std::make_unique<HashPartitioner>(popts);
-    } else {
+    auto made = MakePartitioner(args.partitioner, popts);
+    if (!made.ok()) {
       std::fprintf(stderr, "unknown partitioner: %s\n",
                    args.partitioner.c_str());
       return 2;
     }
+    streaming = std::move(made).value();
     streaming->Run(stream);
     result = &streaming->assignment();
   }

@@ -30,6 +30,7 @@
 #include "drift_scenario.h"
 #include "perf_report.h"
 #include "restream/restreamer.h"
+#include "serving_scenario.h"
 
 namespace loom {
 namespace bench {
@@ -348,6 +349,65 @@ bool RunDriftRows(bool fast, std::vector<JsonObject>* rows) {
   return true;
 }
 
+// Serving rows: the concurrent serving-under-drift scenario
+// (bench/serving_scenario.h), one row per operation kind — ingest-batch,
+// locate and touches — each carrying its tail latencies plus the shared
+// structural outcomes. CI's bench-smoke job asserts: non-zero query counts,
+// p50 <= p99 <= p999 per row, at least one drift reaction, queries served
+// during it, and zero assign errors.
+bool RunServingRows(bool fast, std::vector<JsonObject>* rows) {
+  ServingScenarioConfig config;
+  if (!fast) config.n = 20000;
+  const ServingScenarioResult r = RunServingScenario(config);
+
+  if (!r.ok) {
+    std::cerr << "run_benchmarks: serving scenario contract violated "
+                 "(reactions="
+              << r.drift_reactions << ", assign_errors=" << r.assign_errors
+              << ", ingested=" << r.ingested_vertices << ")\n";
+    return false;
+  }
+
+  const auto common = [&](JsonObject* row) {
+    row->Add("scenario", std::string("serving-under-drift"));
+    row->Add("num_clients", static_cast<uint64_t>(config.num_clients));
+    row->Add("front_end_shards",
+             static_cast<uint64_t>(config.front_end_shards));
+    row->Add("drift_fires", r.drift_fires);
+    row->Add("drift_reactions", r.drift_reactions);
+    row->Add("queries_during_reaction", r.queries_during_reaction);
+    row->Add("assign_errors", r.assign_errors);
+    row->Add("snapshot_epoch", r.snapshot_epoch);
+  };
+  const auto latency = [](JsonObject* row, const LatencySummary& summary) {
+    row->Add("count", summary.count);
+    row->Add("p50_seconds", summary.p50_seconds);
+    row->Add("p99_seconds", summary.p99_seconds);
+    row->Add("p999_seconds", summary.p999_seconds);
+  };
+
+  JsonObject ingest;
+  common(&ingest);
+  ingest.Add("operation", std::string("ingest-batch"));
+  latency(&ingest, r.ingest_batch_latency);
+  ingest.Add("ingested_vertices", r.ingested_vertices);
+  ingest.Add("vertices_per_second", r.vertices_per_second);
+  rows->push_back(std::move(ingest));
+
+  JsonObject locate;
+  common(&locate);
+  locate.Add("operation", std::string("locate"));
+  latency(&locate, r.locate_latency);
+  rows->push_back(std::move(locate));
+
+  JsonObject touches;
+  common(&touches);
+  touches.Add("operation", std::string("touches"));
+  latency(&touches, r.touches_latency);
+  rows->push_back(std::move(touches));
+  return true;
+}
+
 bool RunEdgeCutSection(const EdgeCutConfig& cfg, const std::string& mode,
                        uint32_t threads, const std::string& path) {
   WorkloadGenOptions wopts;
@@ -405,6 +465,9 @@ bool RunEdgeCutSection(const EdgeCutConfig& cfg, const std::string& mode,
   std::vector<JsonObject> drift_rows;
   if (!RunDriftRows(mode == "fast", &drift_rows)) return false;
 
+  std::vector<JsonObject> serving_rows;
+  if (!RunServingRows(mode == "fast", &serving_rows)) return false;
+
   JsonObject config;
   config.Add("n", static_cast<uint64_t>(cfg.n));
   config.Add("k", static_cast<uint64_t>(cfg.k));
@@ -413,13 +476,14 @@ bool RunEdgeCutSection(const EdgeCutConfig& cfg, const std::string& mode,
   config.Add("threads", static_cast<uint64_t>(threads));
 
   JsonObject root;
-  root.Add("schema", std::string("loom-bench-edge-cut-v4"));
+  root.Add("schema", std::string("loom-bench-edge-cut-v5"));
   root.Add("mode", mode);
   root.AddRaw("config", config.Render(2));
   root.AddRaw("results", RenderArray(rows, 2));
   root.AddRaw("restream", RenderArray(restream_rows, 2));
   root.AddRaw("parallel_restream", RenderArray(parallel_rows, 2));
   root.AddRaw("drift", RenderArray(drift_rows, 2));
+  root.AddRaw("serving", RenderArray(serving_rows, 2));
   return WriteFile(path, root.Render(0));
 }
 
