@@ -291,6 +291,7 @@ bool WriteMicroReport(const std::string& path, const std::string& mode,
     const double ops =
         r.seconds > 0 ? static_cast<double>(r.items) / r.seconds : 0;
     row.Add("ops_per_second", ops);
+    row.Add("peak_rss_bytes", PeakRssBytes());
     rows.push_back(std::move(row));
   }
   if (rows.empty()) {
@@ -313,6 +314,7 @@ bool WriteMicroReport(const std::string& path, const std::string& mode,
     row.Add("seconds", r.seconds);
     row.Add("vertices_per_second", r.vertices_per_second);
     row.Add("edges_per_second", r.edges_per_second);
+    row.Add("peak_rss_bytes", PeakRssBytes());
     tp_rows.push_back(std::move(row));
   }
   if (tp_rows.empty()) {
@@ -321,7 +323,7 @@ bool WriteMicroReport(const std::string& path, const std::string& mode,
   }
 
   JsonObject root;
-  root.Add("schema", std::string("loom-bench-micro-v2"));
+  root.Add("schema", std::string("loom-bench-micro-v3"));
   root.Add("mode", mode);
   root.AddRaw("results", RenderArray(rows, 2));
   root.AddRaw("throughput", RenderArray(tp_rows, 2));

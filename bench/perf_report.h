@@ -3,7 +3,7 @@
 
 /// \file
 /// Shared machinery for the machine-readable perf baseline
-/// (`BENCH_micro.json`, schema v2): the self-timed micro loops, the
+/// (`BENCH_micro.json`, schema v3): the self-timed micro loops, the
 /// end-to-end streaming-throughput harness, and the JSON emitter. Used by
 /// both `tools/run_benchmarks` (full baseline refresh) and the standalone
 /// `bench_throughput` binary (throughput-focused runs + the CI perf smoke).
@@ -12,7 +12,8 @@
 /// row per (graph family × partitioner) streaming the FULL pipeline —
 /// window, matcher, cluster scoring, assignment — end to end, reporting
 /// vertices/s and edges/s. This is the repo's headline throughput number;
-/// regressions gate on it.
+/// regressions gate on it. Schema v3 adds `peak_rss_bytes` (the process
+/// high-water mark at row emission; common/timer.h) to every row.
 
 #include <cstdint>
 #include <string>

@@ -1,0 +1,85 @@
+#ifndef LOOM_COMMON_SPAN_H_
+#define LOOM_COMMON_SPAN_H_
+
+/// \file
+/// Minimal non-owning view over a contiguous element range (a C++17 stand-in
+/// for std::span). The streaming data path passes arrival neighbourhoods as
+/// `Span<const VertexId>` so the same partitioner code consumes vectors,
+/// arena-backed SmallVectors and mmap-backed file records without copying.
+/// A Span never owns storage: it is valid only while the viewed range lives,
+/// which for cursor-produced views means "until the next cursor mutation"
+/// (see stream/arrival_source.h).
+
+#include <cstddef>
+#include <initializer_list>
+#include <type_traits>
+#include <vector>
+
+namespace loom {
+
+/// Non-owning pointer+length view; trivially copyable, no lifetime tracking.
+template <typename T>
+class Span {
+ public:
+  constexpr Span() = default;
+  constexpr Span(T* data, size_t size) : data_(data), size_(size) {}
+
+  /// Views a whole vector (enables implicit conversion at call sites that
+  /// used to take `const std::vector<T>&`). The vector must outlive the span.
+  template <typename Alloc>
+  constexpr Span(  // NOLINT(runtime/explicit): intentional implicit view.
+      const std::vector<typename std::remove_const<T>::type, Alloc>& v)
+      : data_(v.data()), size_(v.size()) {}
+
+  /// Views any contiguous container exposing data()/size() over mutable or
+  /// matching-const elements (SmallVector, std::array, another Span).
+  template <typename Container,
+            typename = decltype(static_cast<T*>(
+                static_cast<Container*>(nullptr)->data()))>
+  constexpr Span(  // NOLINT(runtime/explicit): intentional implicit view.
+      Container& c)
+      : data_(c.data()), size_(c.size()) {}
+
+  /// Views a braced list (`Push(v, 0, {1, 2})`). Only available for spans of
+  /// const elements; the backing array lives until the end of the full
+  /// expression, so such a span must not be stored past the call. That
+  /// borrow-until-end-of-expression contract is exactly what GCC's
+  /// -Winit-list-lifetime flags, hence the targeted suppression.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winit-list-lifetime"
+#endif
+  template <typename U = T,
+            typename = typename std::enable_if<std::is_const<U>::value>::type>
+  constexpr Span(  // NOLINT(runtime/explicit): intentional implicit view.
+      std::initializer_list<typename std::remove_const<T>::type> il)
+      : data_(il.begin()), size_(il.size()) {}
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+  constexpr T* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+
+  constexpr T& operator[](size_t i) const { return data_[i]; }
+  constexpr T& front() const { return data_[0]; }
+  constexpr T& back() const { return data_[size_ - 1]; }
+
+  constexpr T* begin() const { return data_; }
+  constexpr T* end() const { return data_ + size_; }
+
+  /// Sub-view of `count` elements starting at `offset`; the caller is
+  /// responsible for `offset + count <= size()`.
+  constexpr Span subspan(size_t offset, size_t count) const {
+    return Span(data_ + offset, count);
+  }
+
+ private:
+  T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace loom
+
+#endif  // LOOM_COMMON_SPAN_H_

@@ -46,7 +46,7 @@ void LoomPartitioner::SetTrie(const TpstryPP* trie) {
 }
 
 void LoomPartitioner::OnVertex(VertexId v, Label label,
-                               const std::vector<VertexId>& back_edges) {
+                               Span<const VertexId> back_edges) {
   if (v >= label_of_.size()) label_of_.resize(v + 1, 0);
   label_of_[v] = label;
 

@@ -37,7 +37,7 @@ class LoomPartitioner : public StreamingPartitioner {
   LoomPartitioner(const LoomOptions& options, const TpstryPP* trie);
 
   void OnVertex(VertexId v, Label label,
-                const std::vector<VertexId>& back_edges) override;
+                Span<const VertexId> back_edges) override;
 
   void Finish() override;
 

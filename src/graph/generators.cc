@@ -268,4 +268,127 @@ std::vector<PlantedMotif> PlantMotifs(LabeledGraph* g,
   return planted;
 }
 
+// ---------------------------------------------------------------------------
+// Streaming arrival sources
+// ---------------------------------------------------------------------------
+
+ErdosRenyiArrivalSource::ErdosRenyiArrivalSource(uint32_t n, double p,
+                                                const LabelConfig& labels,
+                                                uint64_t seed)
+    : n_(n), p_(p), labels_(labels), seed_(seed), rng_(seed) {}
+
+void ErdosRenyiArrivalSource::Reset() {
+  rng_.Seed(seed_);
+  next_vertex_ = 0;
+}
+
+uint64_t ErdosRenyiArrivalSource::NumEdges() const {
+  if (n_ < 2 || p_ <= 0.0) return 0;
+  const double pairs = 0.5 * static_cast<double>(n_) *
+                       static_cast<double>(n_ - 1);
+  return static_cast<uint64_t>(std::min(p_, 1.0) * pairs);
+}
+
+bool ErdosRenyiArrivalSource::Next(ArrivalView* out) {
+  if (next_vertex_ >= n_) return false;
+  const VertexId v = next_vertex_++;
+  out->vertex = v;
+  out->label = DrawLabel(labels_, rng_);
+  scratch_.clear();
+  if (v > 0 && p_ > 0.0) {
+    if (p_ >= 1.0) {
+      for (VertexId u = 0; u < v; ++u) scratch_.push_back(u);
+    } else {
+      // Geometric skipping over the earlier vertices [0, v).
+      const double log1mp = std::log(1.0 - p_);
+      int64_t u = -1;
+      for (;;) {
+        const double r = 1.0 - rng_.UniformDouble();  // in (0, 1]
+        u += 1 + static_cast<int64_t>(std::floor(std::log(r) / log1mp));
+        if (u >= static_cast<int64_t>(v)) break;
+        scratch_.push_back(static_cast<VertexId>(u));
+      }
+    }
+  }
+  out->back_edges = Span<const VertexId>(scratch_.data(), scratch_.size());
+  return true;
+}
+
+BarabasiAlbertArrivalSource::BarabasiAlbertArrivalSource(
+    uint32_t n, uint32_t edges_per_vertex, const LabelConfig& labels,
+    uint64_t seed)
+    : n_(n),
+      edges_per_vertex_(edges_per_vertex),
+      seed_size_(std::min(n, std::max<uint32_t>(edges_per_vertex, 2))),
+      labels_(labels),
+      seed_(seed),
+      rng_(seed),
+      fenwick_(static_cast<size_t>(n) + 1, 0) {}
+
+void BarabasiAlbertArrivalSource::Reset() {
+  rng_.Seed(seed_);
+  next_vertex_ = 0;
+  std::fill(fenwick_.begin(), fenwick_.end(), 0);
+  total_degree_ = 0;
+}
+
+uint64_t BarabasiAlbertArrivalSource::NumEdges() const {
+  uint64_t edges = seed_size_ > 0 ? seed_size_ - 1 : 0;
+  for (uint64_t i = seed_size_; i < n_; ++i) {
+    edges += std::min<uint64_t>(edges_per_vertex_, i);
+  }
+  return edges;
+}
+
+void BarabasiAlbertArrivalSource::FenwickAdd(uint32_t v, uint64_t delta) {
+  for (uint32_t i = v + 1; i <= n_; i += i & (~i + 1)) fenwick_[i] += delta;
+  total_degree_ += delta;
+}
+
+uint32_t BarabasiAlbertArrivalSource::FenwickFind(uint64_t r) const {
+  // Binary lifting: descend the implicit tree, keeping the prefix below r.
+  uint32_t pos = 0;
+  uint32_t mask = 1;
+  while ((mask << 1) != 0 && (mask << 1) <= n_) mask <<= 1;
+  for (; mask != 0; mask >>= 1) {
+    const uint32_t probe = pos + mask;
+    if (probe <= n_ && fenwick_[probe] < r) {
+      pos = probe;
+      r -= fenwick_[probe];
+    }
+  }
+  return pos;  // zero-based vertex id
+}
+
+bool BarabasiAlbertArrivalSource::Next(ArrivalView* out) {
+  if (next_vertex_ >= n_) return false;
+  const VertexId v = next_vertex_++;
+  out->vertex = v;
+  out->label = DrawLabel(labels_, rng_);
+  scratch_.clear();
+  if (v > 0 && v < seed_size_) {
+    // Chain seed, mirroring BarabasiAlbert's connected start.
+    scratch_.push_back(v - 1);
+  } else if (v >= seed_size_) {
+    const uint32_t want = std::min(edges_per_vertex_, v);
+    size_t attempts = 0;
+    while (scratch_.size() < want && attempts < 64u * want) {
+      ++attempts;
+      const VertexId t =
+          total_degree_ == 0
+              ? static_cast<VertexId>(rng_.UniformInt(0, v - 1))
+              : FenwickFind(rng_.UniformInt(1, total_degree_));
+      if (t == v) continue;
+      if (std::find(scratch_.begin(), scratch_.end(), t) != scratch_.end()) {
+        continue;
+      }
+      scratch_.push_back(t);
+    }
+  }
+  for (const VertexId t : scratch_) FenwickAdd(t, 1);
+  FenwickAdd(v, scratch_.size());
+  out->back_edges = Span<const VertexId>(scratch_.data(), scratch_.size());
+  return true;
+}
+
 }  // namespace loom

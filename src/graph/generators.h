@@ -14,6 +14,7 @@
 
 #include "common/rng.h"
 #include "graph/graph.h"
+#include "stream/arrival_source.h"
 
 namespace loom {
 
@@ -67,6 +68,74 @@ LabeledGraph Complete(uint32_t n, const LabelConfig& labels, Rng& rng);
 
 /// Random tree: vertex i attaches to a uniform earlier vertex.
 LabeledGraph RandomTree(uint32_t n, const LabelConfig& labels, Rng& rng);
+
+/// Streaming Erdős–Rényi G(n, p) arrival source: yields vertex v with each
+/// back edge to [0, v) present independently with probability p, via
+/// geometric skipping — O(1) state beyond the scratch neighbour buffer, so
+/// arbitrarily large streams never materialise a graph. Arrivals are in
+/// natural (id) order; `Reset()` re-seeds and reproduces the identical
+/// sequence. `NumEdges()` reports the expectation `p·n(n-1)/2` (generators
+/// only know their edge count once drained; the hint sizes Fennel's alpha).
+class ErdosRenyiArrivalSource : public ArrivalSource {
+ public:
+  ErdosRenyiArrivalSource(uint32_t n, double p, const LabelConfig& labels,
+                          uint64_t seed);
+
+  bool Next(ArrivalView* out) override;
+  void Reset() override;
+  uint64_t NumVertices() const override { return n_; }
+  uint64_t NumEdges() const override;
+
+ private:
+  uint32_t n_;
+  double p_;
+  LabelConfig labels_;
+  uint64_t seed_;
+  Rng rng_;
+  uint32_t next_vertex_ = 0;
+  std::vector<VertexId> scratch_;
+};
+
+/// Streaming Barabási–Albert arrival source: the first min(n, max(m, 2))
+/// vertices form a chain seed, then each arriving vertex attaches to up to
+/// `edges_per_vertex` distinct earlier vertices drawn proportionally to
+/// their current degree. Degree-proportional sampling runs over a Fenwick
+/// tree of degrees — O(n) state and O(log n) per draw instead of the
+/// materialised generator's O(E) endpoint pool. Same process as
+/// `BarabasiAlbert`, but an independent random sequence: the two are
+/// distribution-equal, not sample-equal. `Reset()` reproduces the identical
+/// stream; `NumEdges()` is the attachment-count upper bound (draws that
+/// exhaust their attempt budget fall short, which is rare).
+class BarabasiAlbertArrivalSource : public ArrivalSource {
+ public:
+  BarabasiAlbertArrivalSource(uint32_t n, uint32_t edges_per_vertex,
+                              const LabelConfig& labels, uint64_t seed);
+
+  bool Next(ArrivalView* out) override;
+  void Reset() override;
+  uint64_t NumVertices() const override { return n_; }
+  uint64_t NumEdges() const override;
+
+ private:
+  /// Adds `delta` to vertex `v`'s degree weight.
+  void FenwickAdd(uint32_t v, uint64_t delta);
+  /// Smallest vertex whose cumulative degree weight reaches `r` (1-based
+  /// target in [1, total_degree_]); only vertices with non-zero degree can
+  /// be returned, so a not-yet-attached arrival is never drawn.
+  uint32_t FenwickFind(uint64_t r) const;
+
+  uint32_t n_;
+  uint32_t edges_per_vertex_;
+  uint32_t seed_size_;
+  LabelConfig labels_;
+  uint64_t seed_;
+  Rng rng_;
+  uint32_t next_vertex_ = 0;
+  /// One-based Fenwick array over per-vertex degrees.
+  std::vector<uint64_t> fenwick_;
+  uint64_t total_degree_ = 0;
+  std::vector<VertexId> scratch_;
+};
 
 /// One planted occurrence of `motif` in `g`.
 struct PlantedMotif {

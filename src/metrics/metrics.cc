@@ -18,6 +18,22 @@ double EdgeCutFraction(const LabeledGraph& g, const PartitionAssignment& a) {
          static_cast<double>(g.NumEdges());
 }
 
+double EdgeCutFraction(ArrivalSource& source, const PartitionAssignment& a) {
+  source.Reset();
+  uint64_t cut = 0;
+  uint64_t total = 0;
+  ArrivalView view;
+  while (source.Next(&view)) {
+    const int32_t pv = a.PartOf(view.vertex);
+    for (const VertexId w : view.back_edges) {
+      ++total;
+      if (pv != a.PartOf(w)) ++cut;
+    }
+  }
+  if (total == 0) return 0.0;
+  return static_cast<double>(cut) / static_cast<double>(total);
+}
+
 double BalanceMaxOverAvg(const PartitionAssignment& a) {
   if (a.NumAssigned() == 0) return 1.0;
   const uint32_t max_size =

@@ -12,6 +12,7 @@
 
 #include "graph/graph.h"
 #include "partition/partition_state.h"
+#include "stream/arrival_source.h"
 
 namespace loom {
 
@@ -20,6 +21,13 @@ size_t NumCutEdges(const LabeledGraph& g, const PartitionAssignment& a);
 
 /// Cut edges as a fraction of all edges (lambda in the streaming literature).
 double EdgeCutFraction(const LabeledGraph& g, const PartitionAssignment& a);
+
+/// Streaming form for out-of-core runs: one sweep over `source` (rewound via
+/// Reset first), counting each carried back edge once — O(1) memory where
+/// the graph overload needs the materialised adjacency. The source must
+/// yield *back-edge* views (every edge exactly once, on its later
+/// endpoint); a full-neighbourhood replay source would double-count.
+double EdgeCutFraction(ArrivalSource& source, const PartitionAssignment& a);
 
 /// Normalised maximum load: max_i |V_i| / (n / k); 1.0 = perfectly balanced.
 double BalanceMaxOverAvg(const PartitionAssignment& a);

@@ -5,7 +5,7 @@
 namespace loom {
 
 void BufferedLdgPartitioner::OnVertex(VertexId v, Label label,
-                                      const std::vector<VertexId>& back_edges) {
+                                      Span<const VertexId> back_edges) {
   if (window_.Full()) {
     AssignMember(window_.PopOldest());
   }

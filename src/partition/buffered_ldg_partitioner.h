@@ -22,7 +22,7 @@ class BufferedLdgPartitioner : public StreamingPartitioner {
         edge_counts_(options.k, 0) {}
 
   void OnVertex(VertexId v, Label label,
-                const std::vector<VertexId>& back_edges) override;
+                Span<const VertexId> back_edges) override;
 
   void Finish() override;
 

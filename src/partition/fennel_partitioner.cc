@@ -14,7 +14,7 @@ FennelPartitioner::FennelPartitioner(const PartitionerOptions& options)
 }
 
 void FennelPartitioner::OnVertex(VertexId v, Label /*label*/,
-                                 const std::vector<VertexId>& back_edges) {
+                                 Span<const VertexId> back_edges) {
   for (const uint32_t p : touched_) edge_counts_[p] = 0;
   touched_.clear();
   for (const VertexId w : back_edges) {

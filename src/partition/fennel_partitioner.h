@@ -19,7 +19,7 @@ class FennelPartitioner : public StreamingPartitioner {
   explicit FennelPartitioner(const PartitionerOptions& options);
 
   void OnVertex(VertexId v, Label label,
-                const std::vector<VertexId>& back_edges) override;
+                Span<const VertexId> back_edges) override;
 
   std::string Name() const override { return "fennel"; }
 

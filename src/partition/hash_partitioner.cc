@@ -5,7 +5,7 @@
 namespace loom {
 
 void HashPartitioner::OnVertex(VertexId v, Label /*label*/,
-                               const std::vector<VertexId>& /*back_edges*/) {
+                               Span<const VertexId> /*back_edges*/) {
   const uint32_t k = assignment_.k();
   const uint32_t home = static_cast<uint32_t>(
       MixBits(static_cast<uint64_t>(v) + options_.seed) % k);

@@ -18,7 +18,7 @@ class HashPartitioner : public StreamingPartitioner {
       : StreamingPartitioner(options) {}
 
   void OnVertex(VertexId v, Label label,
-                const std::vector<VertexId>& back_edges) override;
+                Span<const VertexId> back_edges) override;
 
   std::string Name() const override { return "hash"; }
 

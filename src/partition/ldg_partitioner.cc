@@ -3,7 +3,7 @@
 namespace loom {
 
 void LdgPartitioner::OnVertex(VertexId v, Label /*label*/,
-                              const std::vector<VertexId>& back_edges) {
+                              Span<const VertexId> back_edges) {
   // Sparse reset: only the partitions touched by the previous vertex are
   // dirty, so clearing them costs O(degree) instead of O(k) per arrival.
   for (const uint32_t p : touched_) edge_counts_[p] = 0;

@@ -18,7 +18,7 @@ class LdgPartitioner : public StreamingPartitioner {
       : StreamingPartitioner(options), edge_counts_(options.k, 0) {}
 
   void OnVertex(VertexId v, Label label,
-                const std::vector<VertexId>& back_edges) override;
+                Span<const VertexId> back_edges) override;
 
   std::string Name() const override { return "ldg"; }
 

@@ -13,8 +13,9 @@ size_t ComputeCapacity(uint32_t k, size_t num_vertices, double slack) {
   return cap == 0 ? 1 : cap;
 }
 
-void StreamingPartitioner::Run(const GraphStream& stream) {
-  for (const VertexArrival& arrival : stream.arrivals()) {
+void StreamingPartitioner::Run(ArrivalSource& source) {
+  ArrivalView arrival;
+  while (source.Next(&arrival)) {
     if (MigrationBudgetExhausted()) {
       // Every further placement is clamped to the prior partition anyway;
       // skip scoring (and any window/matcher work) for the rest of the pass.
@@ -27,6 +28,11 @@ void StreamingPartitioner::Run(const GraphStream& stream) {
     OnVertex(arrival.vertex, arrival.label, arrival.back_edges);
   }
   Finish();
+}
+
+void StreamingPartitioner::Run(const GraphStream& stream) {
+  StreamCursor cursor(stream);
+  Run(cursor);
 }
 
 void StreamingPartitioner::BeginPass(const PartitionAssignment* prior) {

@@ -12,7 +12,9 @@
 #include <string>
 #include <vector>
 
+#include "common/span.h"
 #include "partition/partition_state.h"
+#include "stream/arrival_source.h"
 #include "stream/stream.h"
 
 namespace loom {
@@ -109,9 +111,11 @@ class StreamingPartitioner {
   StreamingPartitioner& operator=(const StreamingPartitioner&) = delete;
 
   /// Consumes one arrival: vertex `v` with `label` and its edges to
-  /// already-arrived vertices.
+  /// already-arrived vertices. The span is borrowed from the caller's cursor
+  /// and is only valid for the duration of the call — implementations copy
+  /// whatever they buffer (the window's arena does this).
   virtual void OnVertex(VertexId v, Label label,
-                        const std::vector<VertexId>& back_edges) = 0;
+                        Span<const VertexId> back_edges) = 0;
 
   /// Flushes buffered state; after this every streamed vertex is assigned.
   virtual void Finish() {}
@@ -131,11 +135,17 @@ class StreamingPartitioner {
     return nullptr;
   }
 
-  /// Feeds the whole stream and finishes. Early-stop: once a migration
-  /// budget is exhausted mid-pass, the remaining arrivals bypass OnVertex
-  /// scoring entirely and are placed straight onto their prior partition —
-  /// the budget forces that outcome anyway, so the tail of a budgeted pass
-  /// costs one table lookup per vertex instead of a full scoring round.
+  /// Drains `source` (from its current position) through OnVertex and
+  /// finishes. Early-stop: once a migration budget is exhausted mid-pass,
+  /// the remaining arrivals bypass OnVertex scoring entirely and are placed
+  /// straight onto their prior partition — the budget forces that outcome
+  /// anyway, so the tail of a budgeted pass costs one table lookup per
+  /// vertex instead of a full scoring round.
+  void Run(ArrivalSource& source);
+
+  /// Convenience adapter: runs a borrowed in-memory stream through a
+  /// StreamCursor. Identical arrivals produce identical assignments whether
+  /// fed through this overload or any other ArrivalSource.
   void Run(const GraphStream& stream);
 
   /// Restreaming hook (ReLDG/ReFennel semantics): discards this partitioner's

@@ -1,6 +1,7 @@
 #include "restream/restreamer.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <future>
 #include <limits>
@@ -66,11 +67,103 @@ uint64_t MigrationBudgetMoves(const PartitionAssignment& prior,
 
 Restreamer::Restreamer(const GraphStream& stream,
                        const RestreamOptions& options)
-    : stream_(stream),
+    : stream_(&stream),
       graph_(GraphFromStream(stream)),
-      options_(SanitizeRestreamOptions(options)) {}
+      options_(SanitizeRestreamOptions(options)),
+      materializations_(1) {}  // the construction-time GraphFromStream
+
+Restreamer::Restreamer(FileArrivalSource* file, const RestreamOptions& options)
+    : file_(file), options_(SanitizeRestreamOptions(options)) {
+  assert(file != nullptr);
+  assert(file->info().has_full_neighborhoods &&
+         "out-of-core restreaming needs a full-neighbourhood stream file");
+}
 
 namespace {
+
+// Pass-one view of a stream file: sequential back-edge arrivals, owning its
+// own cursor position so concurrent Restreamer drivers never fight over the
+// file's. Also the exactly-once edge sweep behind the out-of-core cut.
+class FileBackCursor : public ArrivalSource {
+ public:
+  explicit FileBackCursor(const FileArrivalSource& file) : file_(&file) {}
+
+  bool Next(ArrivalView* out) override {
+    if (pos_ >= file_->NumVertices()) return false;
+    const FileArrivalSource::Record record = file_->At(pos_++);
+    out->vertex = record.vertex;
+    out->label = record.label;
+    out->back_edges = record.back_edges;
+    return true;
+  }
+  void Reset() override { pos_ = 0; }
+  uint64_t NumVertices() const override { return file_->NumVertices(); }
+  uint64_t NumEdges() const override { return file_->NumEdges(); }
+
+ private:
+  const FileArrivalSource* file_;
+  uint64_t pos_ = 0;
+};
+
+// Pass >= 2 replay over the materialised adjacency: yields `perm`'s vertices
+// with their full neighbourhoods straight out of the graph — the borrowing
+// cursor that replaced the per-pass GraphStream copy.
+class GraphReplayCursor : public ArrivalSource {
+ public:
+  GraphReplayCursor(const LabeledGraph& graph,
+                    const std::vector<VertexId>& perm, uint64_t num_edges)
+      : graph_(&graph), perm_(&perm), num_edges_(num_edges) {}
+
+  bool Next(ArrivalView* out) override {
+    if (pos_ >= perm_->size()) return false;
+    const VertexId v = (*perm_)[pos_++];
+    out->vertex = v;
+    out->label = graph_->LabelOf(v);
+    out->back_edges = Span<const VertexId>(graph_->Neighbors(v).data(),
+                                           graph_->Neighbors(v).size());
+    return true;
+  }
+  void Reset() override { pos_ = 0; }
+  uint64_t NumVertices() const override { return perm_->size(); }
+  uint64_t NumEdges() const override { return num_edges_; }
+
+ private:
+  const LabeledGraph* graph_;
+  const std::vector<VertexId>* perm_;
+  uint64_t num_edges_;
+  uint64_t pos_ = 0;
+};
+
+// Pass >= 2 replay straight out of the mapping: `perm`'s vertices with their
+// full on-disk neighbourhoods, located through the vertex -> arrival-index
+// map. O(1) state; the file's madvise budget bounds residency.
+class FileReplayCursor : public ArrivalSource {
+ public:
+  FileReplayCursor(const FileArrivalSource& file,
+                   const std::vector<VertexId>& perm,
+                   const std::vector<uint32_t>& index_of_vertex)
+      : file_(&file), perm_(&perm), index_of_vertex_(&index_of_vertex) {}
+
+  bool Next(ArrivalView* out) override {
+    if (pos_ >= perm_->size()) return false;
+    const VertexId v = (*perm_)[pos_++];
+    const FileArrivalSource::Record record =
+        file_->At((*index_of_vertex_)[v]);
+    out->vertex = record.vertex;
+    out->label = record.label;
+    out->back_edges = record.full_edges;
+    return true;
+  }
+  void Reset() override { pos_ = 0; }
+  uint64_t NumVertices() const override { return perm_->size(); }
+  uint64_t NumEdges() const override { return file_->NumEdges(); }
+
+ private:
+  const FileArrivalSource* file_;
+  const std::vector<VertexId>* perm_;
+  const std::vector<uint32_t>* index_of_vertex_;
+  uint64_t pos_ = 0;
+};
 
 // Runs fn(begin, end) over `n` items in `chunks` ranges on `pool` and
 // returns the LPT makespan model of the stage: max(slowest chunk, total
@@ -114,8 +207,17 @@ std::vector<VertexId> Restreamer::PassOrder(RestreamOrder order,
   };
 
   std::vector<VertexId> perm;
-  perm.reserve(stream_.NumVertices());
-  for (const VertexArrival& a : stream_.arrivals()) perm.push_back(a.vertex);
+  if (OutOfCore()) {
+    perm.reserve(file_->NumVertices());
+    for (uint64_t i = 0; i < file_->NumVertices(); ++i) {
+      perm.push_back(file_->At(i).vertex);
+    }
+  } else {
+    perm.reserve(stream_->NumVertices());
+    for (const VertexArrival& a : stream_->arrivals()) {
+      perm.push_back(a.vertex);
+    }
+  }
 
   switch (order) {
     case RestreamOrder::kOriginal:
@@ -134,56 +236,78 @@ std::vector<VertexId> Restreamer::PassOrder(RestreamOrder order,
   // Prioritized restreaming: gain(v) = edges to v's prior partition minus
   // edges to its best alternative, over the full (known) neighbourhood.
   const uint32_t k = prior.k();
-  std::vector<double> key(graph_.NumVertices(), 0.0);
-  // Pure per-vertex scoring: a chunk writes only key[v] for its own range,
-  // so the parallel fan-out below is bit-identical to the serial loop.
-  const auto score_range = [&](VertexId begin, VertexId end) {
-    std::vector<uint32_t> counts(k, 0);
-    for (VertexId v = begin; v < end; ++v) {
-      std::fill(counts.begin(), counts.end(), 0);
-      for (const VertexId w : graph_.Neighbors(v)) {
-        const int32_t p = prior.PartOf(w);
-        if (p >= 0) ++counts[static_cast<uint32_t>(p)];
-      }
-      const int32_t home = prior.PartOf(v);
-      uint32_t stay = 0;
-      uint32_t best_other = 0;
-      for (uint32_t p = 0; p < k; ++p) {
-        if (static_cast<int32_t>(p) == home) {
-          stay = counts[p];
-        } else {
-          best_other = std::max(best_other, counts[p]);
-        }
-      }
-      const double gain =
-          static_cast<double>(stay) - static_cast<double>(best_other);
-      // Sort key ascending: descending gain, ascending ambivalence, or
-      // descending decisiveness (= |gain|).
-      switch (order) {
-        case RestreamOrder::kGain:
-          key[v] = -gain;
-          break;
-        case RestreamOrder::kAmbivalence:
-          key[v] = std::fabs(gain);
-          break;
-        case RestreamOrder::kDecisive:
-          key[v] = -std::fabs(gain);
-          break;
-        case RestreamOrder::kOriginal:
-        case RestreamOrder::kRandom:
-          break;  // unreachable: both returned above
+  const auto gain_key = [order](double gain) {
+    // Sort key ascending: descending gain, ascending ambivalence, or
+    // descending decisiveness (= |gain|).
+    switch (order) {
+      case RestreamOrder::kGain:
+        return -gain;
+      case RestreamOrder::kAmbivalence:
+        return std::fabs(gain);
+      case RestreamOrder::kDecisive:
+        return -std::fabs(gain);
+      case RestreamOrder::kOriginal:
+      case RestreamOrder::kRandom:
+        break;  // unreachable: both returned above
+    }
+    return 0.0;
+  };
+  const auto scored_gain = [&prior, k](VertexId v,
+                                       Span<const VertexId> neighbors,
+                                       std::vector<uint32_t>& counts) {
+    std::fill(counts.begin(), counts.end(), 0);
+    for (const VertexId w : neighbors) {
+      const int32_t p = prior.PartOf(w);
+      if (p >= 0) ++counts[static_cast<uint32_t>(p)];
+    }
+    const int32_t home = prior.PartOf(v);
+    uint32_t stay = 0;
+    uint32_t best_other = 0;
+    for (uint32_t p = 0; p < k; ++p) {
+      if (static_cast<int32_t>(p) == home) {
+        stay = counts[p];
+      } else {
+        best_other = std::max(best_other, counts[p]);
       }
     }
+    return static_cast<double>(stay) - static_cast<double>(best_other);
   };
-  const VertexId n = graph_.NumVertices();
-  if (pool == nullptr || n < 1024) {
-    score_range(0, n);
+
+  std::vector<double> key;
+  if (OutOfCore()) {
+    // One sequential sweep of the full-neighbourhood records; O(V) keys and
+    // O(k) scratch, never the adjacency. Kept serial: the file cursor's
+    // residency accounting is single-consumer.
+    key.assign(file_->IdBound(), 0.0);
+    std::vector<uint32_t> counts(k, 0);
+    for (uint64_t i = 0; i < file_->NumVertices(); ++i) {
+      const FileArrivalSource::Record record = file_->At(i);
+      key[record.vertex] =
+          gain_key(scored_gain(record.vertex, record.full_edges, counts));
+    }
   } else {
-    parallel_seconds += TimedParallelChunks(
-        *pool, n, [&](size_t begin, size_t end) {
-          score_range(static_cast<VertexId>(begin),
-                      static_cast<VertexId>(end));
-        });
+    key.assign(graph_.NumVertices(), 0.0);
+    // Pure per-vertex scoring: a chunk writes only key[v] for its own range,
+    // so the parallel fan-out below is bit-identical to the serial loop.
+    const auto score_range = [&](VertexId begin, VertexId end) {
+      std::vector<uint32_t> counts(k, 0);
+      for (VertexId v = begin; v < end; ++v) {
+        const std::vector<VertexId>& neighbors = graph_.Neighbors(v);
+        key[v] = gain_key(scored_gain(
+            v, Span<const VertexId>(neighbors.data(), neighbors.size()),
+            counts));
+      }
+    };
+    const VertexId n = graph_.NumVertices();
+    if (pool == nullptr || n < 1024) {
+      score_range(0, n);
+    } else {
+      parallel_seconds += TimedParallelChunks(
+          *pool, n, [&](size_t begin, size_t end) {
+            score_range(static_cast<VertexId>(begin),
+                        static_cast<VertexId>(end));
+          });
+    }
   }
   std::stable_sort(perm.begin(), perm.end(), [&key](VertexId a, VertexId b) {
     if (key[a] != key[b]) return key[a] < key[b];
@@ -191,6 +315,22 @@ std::vector<VertexId> Restreamer::PassOrder(RestreamOrder order,
   });
   account();
   return perm;
+}
+
+const std::vector<uint32_t>& Restreamer::FileIndexOfVertex() const {
+  if (file_index_of_vertex_.empty() && file_->NumVertices() > 0) {
+    file_index_of_vertex_.assign(file_->IdBound(), ~uint32_t{0});
+    for (uint64_t i = 0; i < file_->NumVertices(); ++i) {
+      file_index_of_vertex_[file_->At(i).vertex] = static_cast<uint32_t>(i);
+    }
+  }
+  return file_index_of_vertex_;
+}
+
+double Restreamer::CutFraction(const PartitionAssignment& a) const {
+  if (!OutOfCore()) return EdgeCutFraction(graph_, a);
+  FileBackCursor cursor(*file_);
+  return EdgeCutFraction(cursor, a);
 }
 
 GraphStream Restreamer::ReplayStream(RestreamOrder order,
@@ -202,22 +342,38 @@ GraphStream Restreamer::ReplayStream(RestreamOrder order,
   ThreadCpuTimer self_cpu;
   double parallel_seconds = 0.0;
   std::vector<VertexArrival> arrivals(perm.size());
+  ++materializations_;
   // Restream passes know the whole graph: each arrival carries the full
   // neighbourhood, and scores fall through to the prior for neighbours not
-  // yet re-assigned this pass. Each slot is written exactly once, so the
-  // parallel build is bit-identical to the serial one.
-  const auto build_range = [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      const VertexId v = perm[i];
-      arrivals[i].vertex = v;
-      arrivals[i].label = graph_.LabelOf(v);
-      arrivals[i].back_edges = graph_.Neighbors(v);
+  // yet re-assigned this pass.
+  if (OutOfCore()) {
+    // Serial by design: the file cursor's residency accounting is
+    // single-consumer, and the sharded pass is the only caller anyway —
+    // its shards own the parallelism.
+    const std::vector<uint32_t>& index_of = FileIndexOfVertex();
+    for (size_t i = 0; i < perm.size(); ++i) {
+      const FileArrivalSource::Record record = file_->At(index_of[perm[i]]);
+      arrivals[i].vertex = record.vertex;
+      arrivals[i].label = record.label;
+      arrivals[i].back_edges.assign(record.full_edges.begin(),
+                                    record.full_edges.end());
     }
-  };
-  if (pool == nullptr || perm.size() < 1024) {
-    build_range(0, perm.size());
   } else {
-    parallel_seconds += TimedParallelChunks(*pool, perm.size(), build_range);
+    // Each slot is written exactly once, so the parallel build is
+    // bit-identical to the serial one.
+    const auto build_range = [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        const VertexId v = perm[i];
+        arrivals[i].vertex = v;
+        arrivals[i].label = graph_.LabelOf(v);
+        arrivals[i].back_edges = graph_.Neighbors(v);
+      }
+    };
+    if (pool == nullptr || perm.size() < 1024) {
+      build_range(0, perm.size());
+    } else {
+      parallel_seconds += TimedParallelChunks(*pool, perm.size(), build_range);
+    }
   }
   if (critical_seconds_out != nullptr) {
     *critical_seconds_out += self_cpu.ElapsedSeconds() + parallel_seconds;
@@ -230,18 +386,26 @@ RestreamPassStats Restreamer::RunIncrementalPass(
     uint64_t max_moves) const {
   Rng rng(options_.seed);
   WallTimer timer;
-  // The replay build is part of the reaction latency: an incremental pass is
-  // judged end-to-end, ordering included.
-  const GraphStream replay = ReplayStream(options_.order, prior, rng);
+  // The replay ordering is part of the reaction latency: an incremental pass
+  // is judged end-to-end, ordering included. The replay itself goes through
+  // a borrowing cursor — no stream copy in either mode.
+  const std::vector<VertexId> perm =
+      PassOrder(options_.order, prior, rng, nullptr, nullptr);
   partitioner->BeginPass(&prior);
   partitioner->SetMigrationBudget(max_moves);
-  partitioner->Run(replay);
+  if (OutOfCore()) {
+    FileReplayCursor cursor(*file_, perm, FileIndexOfVertex());
+    partitioner->Run(cursor);
+  } else {
+    GraphReplayCursor cursor(graph_, perm, graph_.NumEdges());
+    partitioner->Run(cursor);
+  }
   partitioner->ClearPrior();
 
   RestreamPassStats s;
   s.pass = 1;
   s.seconds = timer.ElapsedSeconds();
-  s.edge_cut_fraction = EdgeCutFraction(graph_, partitioner->assignment());
+  s.edge_cut_fraction = CutFraction(partitioner->assignment());
   s.best_edge_cut_fraction = s.edge_cut_fraction;
   s.balance = BalanceMaxOverAvg(partitioner->assignment());
   s.migration_fraction = MigrationFraction(prior, partitioner->assignment());
@@ -353,7 +517,7 @@ RestreamPassStats Restreamer::RunShardedIncrementalPass(
       setup_seconds +
       *std::max_element(shard_seconds.begin(), shard_seconds.end()) +
       merge_seconds;
-  s.edge_cut_fraction = EdgeCutFraction(graph_, partitioner->assignment());
+  s.edge_cut_fraction = CutFraction(partitioner->assignment());
   s.best_edge_cut_fraction = s.edge_cut_fraction;
   s.balance = BalanceMaxOverAvg(partitioner->assignment());
   s.migration_fraction = MigrationFraction(prior, partitioner->assignment());
@@ -374,25 +538,39 @@ RestreamResult Restreamer::Run(StreamingPartitioner* partitioner) const {
 
   const uint32_t passes = std::max<uint32_t>(1, options_.num_passes);
   for (uint32_t pass = 1; pass <= passes; ++pass) {
-    GraphStream replay;
-    const GraphStream* current = &stream_;
+    std::vector<VertexId> perm;
     if (pass == 1) {
       partitioner->BeginPass(nullptr);
     } else {
-      replay = ReplayStream(options_.order, prior, rng);
-      current = &replay;
+      perm = PassOrder(options_.order, prior, rng, nullptr, nullptr);
       partitioner->BeginPass(&prior);
       partitioner->SetMigrationBudget(
           MigrationBudgetMoves(prior, options_.max_migration_fraction));
     }
 
     WallTimer timer;
-    partitioner->Run(*current);
+    // Pass one streams the recorded arrivals (back edges only); later
+    // passes replay full neighbourhoods through borrowing cursors — no
+    // per-pass stream copy in either mode.
+    if (pass == 1) {
+      if (OutOfCore()) {
+        FileBackCursor cursor(*file_);
+        partitioner->Run(cursor);
+      } else {
+        partitioner->Run(*stream_);
+      }
+    } else if (OutOfCore()) {
+      FileReplayCursor cursor(*file_, perm, FileIndexOfVertex());
+      partitioner->Run(cursor);
+    } else {
+      GraphReplayCursor cursor(graph_, perm, graph_.NumEdges());
+      partitioner->Run(cursor);
+    }
 
     RestreamPassStats s;
     s.pass = pass;
     s.seconds = timer.ElapsedSeconds();
-    s.edge_cut_fraction = EdgeCutFraction(graph_, partitioner->assignment());
+    s.edge_cut_fraction = CutFraction(partitioner->assignment());
     s.balance = BalanceMaxOverAvg(partitioner->assignment());
     s.migration_fraction =
         pass == 1 ? 0.0 : MigrationFraction(prior, partitioner->assignment());

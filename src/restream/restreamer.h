@@ -23,8 +23,10 @@
 
 #include "common/rng.h"
 #include "graph/graph.h"
+#include "graph/io.h"
 #include "metrics/metrics.h"
 #include "partition/partitioner.h"
+#include "stream/arrival_source.h"
 #include "stream/stream.h"
 
 namespace loom {
@@ -159,12 +161,31 @@ struct RestreamResult {
 
 /// Replays a recorded stream for N passes over one partitioner.
 ///
-/// The stream must outlive the Restreamer; the adjacency needed for full
-/// neighbourhoods and prioritized orderings is rebuilt from it once at
-/// construction (GraphFromStream), so callers need nothing but the stream.
+/// Two backing modes share every driver:
+///
+///  * **Materialised** — constructed from an in-memory GraphStream (which
+///    must outlive the Restreamer). The adjacency needed for full
+///    neighbourhoods and prioritized orderings is rebuilt from it exactly
+///    once at construction (GraphFromStream); serial passes replay through
+///    a borrowing cursor over that adjacency, so no per-pass stream copy is
+///    ever made (`materializations()` counts the O(E) builds — a 3-pass
+///    serial run performs exactly one).
+///  * **Out-of-core** — constructed from an mmap-ed FileArrivalSource
+///    written with full neighbourhoods. Pass one streams the file's back
+///    edges; later passes replay full-neighbourhood records in prioritized
+///    order through the mapping. Serial passes keep O(V) memory (ordering
+///    keys, permutation, vertex index — never the edges); only the sharded
+///    pass and ReplayStream still materialise, because share-nothing shards
+///    need owned streams. `graph()` is empty in this mode.
 class Restreamer {
  public:
   Restreamer(const GraphStream& stream, const RestreamOptions& options);
+
+  /// Out-of-core mode over `file`, which is borrowed (must outlive the
+  /// Restreamer, which owns its cursor positions: the file's own cursor is
+  /// not used). The file must carry full neighbourhoods
+  /// (`info().has_full_neighborhoods`) — replay passes need them.
+  Restreamer(FileArrivalSource* file, const RestreamOptions& options);
 
   /// Runs `options.num_passes` passes of `partitioner` (reset via BeginPass,
   /// so a used partitioner is fine). After the call the partitioner holds
@@ -211,24 +232,36 @@ class Restreamer {
       StreamingPartitioner::kUnlimitedMigrationBudget;
 
   /// The pass >= 2 stream for `order` given a prior assignment: arrivals in
-  /// prioritized order, each carrying its full neighbourhood. Exposed for
-  /// tests and for drivers that schedule passes themselves. With a non-null
-  /// `pool` the gain scoring and arrival construction fan out over it —
-  /// bit-identical output (every chunk writes only its own slots), just
-  /// built on more cores; the sharded pass reuses its worker pool here so
-  /// the serial setup does not dominate its critical path. When
-  /// `critical_seconds_out` is non-null the build's share-nothing critical
-  /// path is *added* to it: calling-thread CPU seconds plus, per fanned-out
-  /// stage, the LPT makespan model max(slowest chunk, total chunk CPU /
-  /// workers) — i.e. the build latency on a machine with the pool's worker
-  /// count in free cores, measured machine-independently.
+  /// prioritized order, each carrying its full neighbourhood, materialised
+  /// into an owned GraphStream (counted by `materializations()`). Exposed
+  /// for tests and for drivers that schedule passes themselves — serial
+  /// passes no longer use it; the sharded pass does, because share-nothing
+  /// shards need owned streams. With a non-null `pool` the gain scoring and
+  /// arrival construction fan out over it — bit-identical output (every
+  /// chunk writes only its own slots), just built on more cores; the
+  /// sharded pass reuses its worker pool here so the serial setup does not
+  /// dominate its critical path. When `critical_seconds_out` is non-null
+  /// the build's share-nothing critical path is *added* to it:
+  /// calling-thread CPU seconds plus, per fanned-out stage, the LPT
+  /// makespan model max(slowest chunk, total chunk CPU / workers) — i.e.
+  /// the build latency on a machine with the pool's worker count in free
+  /// cores, measured machine-independently.
   GraphStream ReplayStream(RestreamOrder order,
                            const PartitionAssignment& prior, Rng& rng,
                            ThreadPool* pool = nullptr,
                            double* critical_seconds_out = nullptr) const;
 
-  /// The adjacency rebuilt from the recorded stream.
+  /// The adjacency rebuilt from the recorded stream; empty in out-of-core
+  /// mode (the whole point is never to build it).
   const LabeledGraph& graph() const { return graph_; }
+
+  /// How many times this Restreamer has built O(E) neighbourhood state: the
+  /// construction-time GraphFromStream (materialised mode) plus one per
+  /// ReplayStream call. Serial multi-pass runs replay through borrowing
+  /// cursors, so a 3-pass Run() reports exactly 1 in materialised mode and
+  /// 0 out-of-core — the regression guard for the per-pass re-copying this
+  /// class used to do.
+  uint64_t materializations() const { return materializations_; }
 
  private:
   /// The vertex permutation for a pass >= 2. Accumulates its critical-path
@@ -238,9 +271,25 @@ class Restreamer {
                                   ThreadPool* pool,
                                   double* critical_seconds_out) const;
 
-  const GraphStream& stream_;
+  /// True when backed by a FileArrivalSource instead of a GraphStream.
+  bool OutOfCore() const { return file_ != nullptr; }
+
+  /// Arrival index of each vertex id, built lazily on the first replay pass
+  /// (out-of-core mode only; O(id_bound) once, then reused by every pass).
+  const std::vector<uint32_t>& FileIndexOfVertex() const;
+
+  /// Edge-cut fraction of `a` in whichever mode is active.
+  double CutFraction(const PartitionAssignment& a) const;
+
+  /// Exactly one of stream_/file_ is set (materialised vs out-of-core).
+  const GraphStream* stream_ = nullptr;
+  FileArrivalSource* file_ = nullptr;
   LabeledGraph graph_;
   RestreamOptions options_;
+  /// O(E) neighbourhood-state builds so far (see materializations()).
+  mutable uint64_t materializations_ = 0;
+  /// Lazy cache behind FileIndexOfVertex().
+  mutable std::vector<uint32_t> file_index_of_vertex_;
 };
 
 }  // namespace loom

@@ -187,6 +187,28 @@ Status Service::Ingest(const VertexArrival* arrivals, size_t count) {
   return Status::OK();
 }
 
+Status Service::IngestSource(ArrivalSource& source, size_t batch_size) {
+  if (batch_size == 0) batch_size = 1;
+  source.Reset();
+  std::vector<VertexArrival> batch;
+  batch.reserve(batch_size);
+  ArrivalView view;
+  while (source.Next(&view)) {
+    VertexArrival arrival;
+    arrival.vertex = view.vertex;
+    arrival.label = view.label;
+    arrival.back_edges.assign(view.back_edges.begin(), view.back_edges.end());
+    batch.push_back(std::move(arrival));
+    if (batch.size() >= batch_size) {
+      const Status status = Ingest(batch);
+      if (!status.ok()) return status;
+      batch.clear();
+    }
+  }
+  if (!batch.empty()) return Ingest(batch);
+  return Status::OK();
+}
+
 void Service::ProcessBatch(uint64_t seq, std::vector<VertexArrival>* batch) {
   for (VertexArrival& arrival : *batch) {
     if (arrival.vertex >= label_of_.size()) {

@@ -54,6 +54,7 @@
 #include "partition/partitioner.h"
 #include "serving/placement_snapshot.h"
 #include "serving/service_options.h"
+#include "stream/arrival_source.h"
 #include "stream/stream.h"
 #include "tpstry/workload_tracker.h"
 #include "workload/workload.h"
@@ -132,6 +133,14 @@ class Service {
   Status Ingest(const std::vector<VertexArrival>& arrivals) {
     return Ingest(arrivals.data(), arrivals.size());
   }
+
+  /// Drains `source` (rewound via `Reset` first) into `Ingest` batches of
+  /// `batch_size` arrivals — the bridge from any ArrivalSource (an mmap-ed
+  /// stream file, a streaming generator) to the serving pipeline, with peak
+  /// memory bounded by one batch regardless of stream size. Stops at the
+  /// first rejected batch and returns its status; OK once the source is
+  /// exhausted. Same concurrency contract as `Ingest`.
+  Status IngestSource(ArrivalSource& source, size_t batch_size = 1024);
 
   /// Partition of `v` in the latest published snapshot, or -1 while
   /// unassigned (still windowed, not yet published, or never ingested).

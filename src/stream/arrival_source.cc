@@ -1,0 +1,29 @@
+#include "stream/arrival_source.h"
+
+namespace loom {
+
+bool StreamCursor::Next(ArrivalView* out) {
+  const std::vector<VertexArrival>& arrivals = stream_->arrivals();
+  if (pos_ >= arrivals.size()) return false;
+  const VertexArrival& a = arrivals[pos_++];
+  out->vertex = a.vertex;
+  out->label = a.label;
+  out->back_edges = Span<const VertexId>(a.back_edges.data(),
+                                         a.back_edges.size());
+  return true;
+}
+
+GraphStream MaterializeStream(ArrivalSource& source) {
+  GraphStream stream;
+  ArrivalView view;
+  while (source.Next(&view)) {
+    VertexArrival arrival;
+    arrival.vertex = view.vertex;
+    arrival.label = view.label;
+    arrival.back_edges.assign(view.back_edges.begin(), view.back_edges.end());
+    stream.Append(std::move(arrival));
+  }
+  return stream;
+}
+
+}  // namespace loom

@@ -17,7 +17,7 @@ StreamWindow::StreamWindow(size_t capacity)
 }
 
 void StreamWindow::Push(VertexId v, Label label,
-                        const std::vector<VertexId>& back_edges,
+                        Span<const VertexId> back_edges,
                         bool record_reverse) {
   assert(!Full() && "Push on a full window; evict first");
   assert(!Contains(v));

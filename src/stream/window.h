@@ -14,6 +14,7 @@
 #include "common/flat_map.h"
 #include "common/ring_buffer.h"
 #include "common/small_vector.h"
+#include "common/span.h"
 #include "graph/graph.h"
 
 namespace loom {
@@ -45,7 +46,7 @@ class StreamWindow {
   /// also appended to buffered neighbours' lists: pass false when arrivals
   /// already carry the complete neighbourhood (restream passes ≥ 2), where
   /// the reverse record would duplicate every window-internal edge.
-  void Push(VertexId v, Label label, const std::vector<VertexId>& back_edges,
+  void Push(VertexId v, Label label, Span<const VertexId> back_edges,
             bool record_reverse = true);
 
   bool Full() const { return index_.size() >= capacity_; }

@@ -202,11 +202,11 @@ TEST_F(BenchDriverTest, EdgeCutJsonIsValidWithExpectedKeys) {
   const std::string text = ReadFileOrDie(*out_dir_ + "/BENCH_edge_cut.json");
   ASSERT_FALSE(text.empty());
   EXPECT_TRUE(JsonChecker(text).Valid()) << text;
-  EXPECT_NE(text.find("\"schema\": \"loom-bench-edge-cut-v5\""),
+  EXPECT_NE(text.find("\"schema\": \"loom-bench-edge-cut-v6\""),
             std::string::npos);
   for (const char* key :
        {"\"edge_cut_fraction\"", "\"balance\"", "\"vertices_per_second\"",
-        "\"partitioner\"", "\"graph\""}) {
+        "\"partitioner\"", "\"graph\"", "\"peak_rss_bytes\""}) {
     EXPECT_NE(text.find(key), std::string::npos) << "missing key " << key;
   }
   // The standard set must be present: hash, ldg, fennel, buffered, loom,
@@ -293,14 +293,32 @@ TEST_F(BenchDriverTest, EdgeCutJsonHasServingSection) {
       << "serving scenario reported assignment errors";
 }
 
+TEST_F(BenchDriverTest, EdgeCutJsonHasLargeSection) {
+  const std::string text = ReadFileOrDie(*out_dir_ + "/BENCH_edge_cut.json");
+  ASSERT_FALSE(text.empty());
+  EXPECT_NE(text.find("\"large\": ["), std::string::npos)
+      << "missing large section";
+  // Schema v6 keys: the file-backed tier's provenance, the out-of-core
+  // guarantee (zero materializations) and the asserted O(V) memory ceiling.
+  for (const char* key :
+       {"\"tier\": \"file-backed-ba\"", "\"file_bytes\"",
+        "\"edge_cut_fraction_before\"", "\"edge_cut_fraction_after\"",
+        "\"materializations\": 0", "\"rss_ceiling_bytes\"",
+        "\"rss_ok\": true"}) {
+    EXPECT_NE(text.find(key), std::string::npos)
+        << "missing large key " << key;
+  }
+}
+
 TEST_F(BenchDriverTest, MicroJsonIsValidWithExpectedKeys) {
   const std::string text = ReadFileOrDie(*out_dir_ + "/BENCH_micro.json");
   ASSERT_FALSE(text.empty());
   EXPECT_TRUE(JsonChecker(text).Valid()) << text;
-  EXPECT_NE(text.find("\"schema\": \"loom-bench-micro-v2\""),
+  EXPECT_NE(text.find("\"schema\": \"loom-bench-micro-v3\""),
             std::string::npos);
-  for (const char* key : {"\"name\"", "\"iterations\"", "\"seconds\"",
-                          "\"ns_per_op\"", "\"ops_per_second\""}) {
+  for (const char* key :
+       {"\"name\"", "\"iterations\"", "\"seconds\"", "\"ns_per_op\"",
+        "\"ops_per_second\"", "\"peak_rss_bytes\""}) {
     EXPECT_NE(text.find(key), std::string::npos) << "missing key " << key;
   }
   // The three hot-path loops the container overhaul is gated on.

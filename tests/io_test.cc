@@ -1,12 +1,20 @@
-// Round-trip and robustness tests for workload and assignment serialization.
+// Round-trip and robustness tests for workload and assignment serialization,
+// plus the loom-stream binary format (graph/io.h): GraphStream round-trips,
+// malformed-file rejection, and endianness-pinned golden bytes.
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <string>
+#include <vector>
 
+#include "graph/generators.h"
+#include "graph/io.h"
 #include "partition/partition_io.h"
+#include "stream/stream.h"
 #include "workload/query_builders.h"
 #include "workload/workload_io.h"
 
@@ -116,6 +124,255 @@ TEST(AssignmentIoTest, MissingHeader) {
   }
   EXPECT_EQ(LoadAssignment(path).status().code(),
             StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// loom-stream binary format
+// ---------------------------------------------------------------------------
+
+GraphStream MakeTestStream(uint32_t n, uint64_t seed) {
+  Rng rng(seed);
+  LabeledGraph g = BarabasiAlbert(n, 3, LabelConfig{4, 0.3}, rng);
+  return MakeStream(g, StreamOrder::kRandom, rng);
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(StreamFileTest, RoundTripMatchesGraphStream) {
+  const GraphStream stream = MakeTestStream(300, 11);
+  const std::string path = TempPath("loom_stream_roundtrip.loomstrm");
+  ASSERT_TRUE(WriteStreamFile(stream, path).ok());
+
+  auto opened = FileArrivalSource::Open(path);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  FileArrivalSource& file = **opened;
+  EXPECT_EQ(file.NumVertices(), stream.NumVertices());
+  EXPECT_EQ(file.NumEdges(), stream.NumEdges());
+  EXPECT_TRUE(file.info().has_full_neighborhoods);
+
+  // Two full drains (Reset between) both reproduce the recorded stream
+  // exactly: same arrival order, labels and back-edge order.
+  for (int pass = 0; pass < 2; ++pass) {
+    file.Reset();
+    ArrivalView view;
+    for (const VertexArrival& expected : stream.arrivals()) {
+      ASSERT_TRUE(file.Next(&view));
+      EXPECT_EQ(view.vertex, expected.vertex);
+      EXPECT_EQ(view.label, expected.label);
+      ASSERT_EQ(view.back_edges.size(), expected.back_edges.size());
+      for (size_t i = 0; i < expected.back_edges.size(); ++i) {
+        EXPECT_EQ(view.back_edges[i], expected.back_edges[i]);
+      }
+    }
+    EXPECT_FALSE(file.Next(&view));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StreamFileTest, FullViewMatchesMaterializedAdjacency) {
+  const GraphStream stream = MakeTestStream(300, 12);
+  const std::string path = TempPath("loom_stream_fullview.loomstrm");
+  ASSERT_TRUE(WriteStreamFile(stream, path).ok());
+
+  auto opened = FileArrivalSource::Open(path);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  const FileArrivalSource& file = **opened;
+
+  // The cornerstone of out-of-core replay: each arrival's full slice (back
+  // edges, then forward neighbours in their arrival order) is exactly the
+  // adjacency order GraphFromStream materialises — so replaying from the
+  // file is bit-identical to replaying from the rebuilt graph.
+  const LabeledGraph g = GraphFromStream(stream);
+  for (uint64_t i = 0; i < file.NumVertices(); ++i) {
+    const FileArrivalSource::Record record = file.At(i);
+    const std::vector<VertexId>& expected = g.Neighbors(record.vertex);
+    ASSERT_EQ(record.full_edges.size(), expected.size());
+    for (size_t j = 0; j < expected.size(); ++j) {
+      EXPECT_EQ(record.full_edges[j], expected[j]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StreamFileTest, IncrementalWriterMatchesOneShot) {
+  const GraphStream stream = MakeTestStream(200, 13);
+  const std::string one_shot = TempPath("loom_stream_oneshot.loomstrm");
+  const std::string incremental = TempPath("loom_stream_incr.loomstrm");
+  ASSERT_TRUE(WriteStreamFile(stream, one_shot).ok());
+
+  auto writer = StreamFileWriter::Create(incremental);
+  ASSERT_TRUE(writer.ok());
+  for (const VertexArrival& a : stream.arrivals()) {
+    ASSERT_TRUE((*writer)->Append(a.vertex, a.label, a.back_edges).ok());
+  }
+  ASSERT_TRUE((*writer)->Finish().ok());
+
+  EXPECT_EQ(ReadFileBytes(one_shot), ReadFileBytes(incremental));
+  std::remove(one_shot.c_str());
+  std::remove(incremental.c_str());
+}
+
+// The byte-exact layout of a tiny stream, pinned against docs/FORMATS.md.
+// Written on any host, the file must equal these little-endian bytes; a
+// big-endian writer that forgot to swap would fail here.
+TEST(StreamFileTest, GoldenBytes) {
+  GraphStream stream;
+  stream.Append(VertexArrival{0, 7, {}});
+  stream.Append(VertexArrival{1, 3, {0}});
+  stream.Append(VertexArrival{2, 0, {0, 1}});
+  const std::string path = TempPath("loom_stream_golden.loomstrm");
+  ASSERT_TRUE(WriteStreamFile(stream, path).ok());
+
+  std::string expected;
+  const auto u32 = [&](uint32_t v) {
+    for (int b = 0; b < 4; ++b) {
+      expected.push_back(static_cast<char>((v >> (8 * b)) & 0xff));
+    }
+  };
+  const auto u64 = [&](uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      expected.push_back(static_cast<char>((v >> (8 * b)) & 0xff));
+    }
+  };
+  // Header (64 bytes).
+  expected += "LOOMSTRM";  // magic, reads as little-endian 0x4D5254534D4F4F4C
+  u32(1);                  // version
+  u32(1);                  // flags: full neighbourhoods
+  u64(3);                  // num_vertices
+  u64(3);                  // id_bound
+  u64(3);                  // num_edges
+  u64(6);                  // edge_slots (2 per edge with full neighbourhoods)
+  u64(0);                  // reserved
+  u64(0);
+  // Directory (24 bytes per arrival: vertex, label, back, full, offset).
+  u32(0); u32(7); u32(0); u32(2); u64(0);
+  u32(1); u32(3); u32(1); u32(2); u64(2);
+  u32(2); u32(0); u32(2); u32(2); u64(4);
+  // Edge array: per arrival back edges then forward neighbours in their
+  // arrival order.
+  u32(1); u32(2);  // arrival 0: forward to 1 and 2
+  u32(0); u32(2);  // arrival 1: back 0, forward to 2
+  u32(0); u32(1);  // arrival 2: back 0, 1
+
+  EXPECT_EQ(ReadFileBytes(path), expected);
+  std::remove(path.c_str());
+}
+
+TEST(StreamFileTest, RejectsMalformedFiles) {
+  const GraphStream stream = MakeTestStream(50, 14);
+  const std::string path = TempPath("loom_stream_malformed.loomstrm");
+  ASSERT_TRUE(WriteStreamFile(stream, path).ok());
+  const std::string good = ReadFileBytes(path);
+
+  const auto expect_rejected = [&](std::string bytes, StatusCode code,
+                                   const char* what) {
+    WriteFileBytes(path, bytes);
+    const auto opened = FileArrivalSource::Open(path);
+    ASSERT_FALSE(opened.ok()) << what;
+    EXPECT_EQ(opened.status().code(), code) << what;
+  };
+
+  std::string bad = good;
+  bad[0] = 'X';
+  expect_rejected(bad, StatusCode::kInvalidArgument, "wrong magic");
+
+  bad = good;
+  bad[8] = 99;  // version field
+  expect_rejected(bad, StatusCode::kInvalidArgument, "wrong version");
+
+  bad = good;
+  bad[12] = static_cast<char>(0xfe);  // flags field: unknown bits
+  expect_rejected(bad, StatusCode::kInvalidArgument, "unknown flags");
+
+  expect_rejected(good.substr(0, good.size() - 4),
+                  StatusCode::kInvalidArgument, "truncated edge array");
+  expect_rejected(good.substr(0, 32), StatusCode::kInvalidArgument,
+                  "truncated header");
+
+  bad = good;
+  bad[kStreamFileHeaderBytes + 8] ^= 1;  // first record's back_degree
+  expect_rejected(bad, StatusCode::kInvalidArgument, "corrupt directory");
+
+  std::remove(path.c_str());
+}
+
+TEST(StreamFileTest, WriterRejectsStreamInvariantViolations) {
+  const std::string path = TempPath("loom_stream_invariants.loomstrm");
+  const std::vector<VertexId> none;
+  const auto reject = [&](VertexId vertex, const std::vector<VertexId>& backs,
+                          const char* what) {
+    auto writer = StreamFileWriter::Create(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append(0, 0, none).ok());
+    EXPECT_EQ((*writer)->Append(vertex, 0, backs).code(),
+              StatusCode::kInvalidArgument)
+        << what;
+  };
+  reject(1, {1}, "self-loop");
+  reject(0, {}, "repeat arrival");
+  reject(1, {2}, "forward edge");
+  reject(1, {0, 0}, "duplicate edge");
+  // No finished file may be left behind by failed writers.
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(StreamFileTest, BackEdgeOnlyFiles) {
+  const GraphStream stream = MakeTestStream(100, 15);
+  const std::string path = TempPath("loom_stream_backonly.loomstrm");
+  StreamFileOptions options;
+  options.full_neighborhoods = false;
+  ASSERT_TRUE(WriteStreamFile(stream, path, options).ok());
+
+  // Full-neighbourhood view is refused; the back-edge view works and At()
+  // aliases both spans to the same slice.
+  StreamOpenOptions full_view;
+  full_view.view = StreamView::kFullNeighborhoods;
+  EXPECT_EQ(FileArrivalSource::Open(path, full_view).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  auto opened = FileArrivalSource::Open(path);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_FALSE((*opened)->info().has_full_neighborhoods);
+  const FileArrivalSource::Record record = (*opened)->At(50);
+  EXPECT_EQ(record.full_edges.data(), record.back_edges.data());
+  EXPECT_EQ(record.full_edges.size(), record.back_edges.size());
+  std::remove(path.c_str());
+}
+
+TEST(StreamFileTest, TinyResidencyBudgetStaysCorrect) {
+  const GraphStream stream = MakeTestStream(200, 16);
+  const std::string path = TempPath("loom_stream_residency.loomstrm");
+  ASSERT_TRUE(WriteStreamFile(stream, path).ok());
+
+  StreamOpenOptions options;
+  options.residency_budget_bytes = 4096;  // drop pages constantly
+  auto opened = FileArrivalSource::Open(path, options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+
+  uint64_t edges = 0;
+  ArrivalView view;
+  for (int pass = 0; pass < 2; ++pass) {
+    (*opened)->Reset();
+    edges = 0;
+    uint64_t vertices = 0;
+    while ((*opened)->Next(&view)) {
+      ++vertices;
+      edges += view.back_edges.size();
+    }
+    EXPECT_EQ(vertices, stream.NumVertices());
+    EXPECT_EQ(edges, stream.NumEdges());
+  }
   std::remove(path.c_str());
 }
 

@@ -270,6 +270,41 @@ TEST(ServingIngestTest, BatchedIngestMatchesSerialPipelineBitForBit) {
   }
 }
 
+TEST(ServingIngestTest, IngestSourceMatchesBatchedIngest) {
+  // The ArrivalSource bridge: draining a cursor (here a StreamCursor, in
+  // production an mmap-ed stream file or a generator) must place every
+  // vertex exactly where the equivalent hand-batched Ingest calls would.
+  const Scenario s = MakeScenario(600, 17);
+  const Workload workload = SmallWorkload();
+
+  ServiceOptions opts = BaseOptions(s, 6);
+  opts.enable_drift_reactions = false;
+  auto reference = Service::Create(workload, opts);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_TRUE((*reference)->Ingest(s.stream.arrivals()).ok());
+  ASSERT_TRUE((*reference)->Seal().ok());
+  const PlacementSnapshot* want = (*reference)->Snapshot();
+  ASSERT_NE(want, nullptr);
+
+  for (const size_t batch_size : {size_t{1}, size_t{50}, size_t{100000}}) {
+    auto created = Service::Create(workload, opts);
+    ASSERT_TRUE(created.ok());
+    Service& service = **created;
+    StreamCursor cursor(s.stream);
+    ASSERT_TRUE(service.IngestSource(cursor, batch_size).ok());
+    ASSERT_TRUE(service.Seal().ok());
+
+    const PlacementSnapshot* got = service.Snapshot();
+    ASSERT_NE(got, nullptr);
+    ASSERT_EQ(got->num_assigned, want->num_assigned);
+    for (VertexId v = 0; v < s.g.NumVertices(); ++v) {
+      ASSERT_EQ(got->Locate(v), want->Locate(v))
+          << "batch=" << batch_size << " vertex=" << v;
+    }
+    EXPECT_EQ(service.Stats().ingested_vertices, s.g.NumVertices());
+  }
+}
+
 // --------------------------------------------------- reads vs. ground truth
 
 TEST(ServingQueryTest, LocateAndTouchesMatchTheQueryEngineGroundTruth) {

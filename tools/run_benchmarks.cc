@@ -10,12 +10,17 @@
 //
 // Usage:
 //   run_benchmarks [--fast] [--full] [--out DIR] [--threads N]
+//                  [--large-n N] [--large-degree M] [--large-file PATH]
 //
 // --fast (default) keeps total runtime to a few seconds; --full runs the
-// paper-scale configuration. --threads N caps the parallel-restream sweep's
-// shard counts (default 4; powers of two up to N). Exit status is non-zero
-// on any failure, and the JSON files are only left behind when every
-// section succeeded.
+// paper-scale configuration — including the LiveJournal-class `large` tier
+// (~5M vertices / ~50M edges, file-backed). --threads N caps the
+// parallel-restream sweep's shard counts (default 4; powers of two up to
+// N). --large-n / --large-degree override the large tier's synthetic scale;
+// --large-file points it at a pre-built loom-stream file instead. Exit
+// status is non-zero on any failure — including a peak-RSS reading above
+// the large tier's O(V) ceiling — and the JSON files are only left behind
+// when every section succeeded.
 
 #include <algorithm>
 #include <cmath>
@@ -27,7 +32,9 @@
 #include <string>
 #include <vector>
 
+#include "common/timer.h"
 #include "drift_scenario.h"
+#include "graph/io.h"
 #include "perf_report.h"
 #include "restream/restreamer.h"
 #include "serving_scenario.h"
@@ -35,6 +42,145 @@
 namespace loom {
 namespace bench {
 namespace {
+
+// ------------------------------------------------------------------- large
+
+// File-backed out-of-core tier: streaming generator -> loom-stream file ->
+// ldg pass one + one gain-ordered restream pass, all through the mmap-ed
+// FileArrivalSource, never materialising the graph. MUST run before every
+// in-memory section: PeakRssBytes() is a process-wide high-water mark, so
+// the O(V) assertion is only meaningful while nothing else has built O(E)
+// state yet.
+struct LargeConfig {
+  uint64_t n = 60000;
+  /// Barabási–Albert attachments per vertex (edges ~= n * degree).
+  uint32_t degree = 10;
+  uint32_t k = 16;
+  uint64_t seed = 2024;
+  /// Pre-built loom-stream file to use instead of generating (kept on disk);
+  /// empty = generate into `work_dir` and remove afterwards.
+  std::string file;
+  std::string work_dir = ".";
+};
+
+// RSS ceiling model asserted by the section: a fixed process base (binary,
+// allocator, the writer's fill buffer and the reader's residency budget)
+// plus a per-vertex allowance for the O(V) state the out-of-core path
+// legitimately holds — writer index arrays, ordering keys, permutation,
+// prior + live assignments, the generator's Fenwick tree. 80 bytes/vertex
+// covers those (~20 u32/u64 arrays' worth) with modest headroom; the
+// measured full-scale peak is ~124 B/vertex total including the base. The
+// model has NO per-edge term on purpose: the full-scale run keeps ~400MB of
+// edge slices on disk, so an O(E) regression (materialising adjacency at
+// 8+ bytes/edge, mapping pages without dropping them) blows through the
+// ceiling immediately.
+constexpr uint64_t kLargeRssBaseBytes = 256ull << 20;
+constexpr uint64_t kLargeRssPerVertexBytes = 80;
+
+bool RunLargeSection(const LargeConfig& cfg, std::vector<JsonObject>* rows) {
+  const bool generated = cfg.file.empty();
+  const std::string path =
+      generated ? cfg.work_dir + "/.bench_large.loomstrm" : cfg.file;
+
+  double generate_seconds = 0.0;
+  if (generated) {
+    WallTimer timer;
+    BarabasiAlbertArrivalSource source(static_cast<uint32_t>(cfg.n),
+                                       cfg.degree, LabelConfig{4, 0.0},
+                                       cfg.seed);
+    auto writer = StreamFileWriter::Create(path);
+    if (!writer.ok()) {
+      std::cerr << "run_benchmarks: large tier writer: "
+                << writer.status().ToString() << "\n";
+      return false;
+    }
+    Status status = (*writer)->AppendAll(source);
+    if (status.ok()) status = (*writer)->Finish();
+    if (!status.ok()) {
+      std::cerr << "run_benchmarks: large tier write: " << status.ToString()
+                << "\n";
+      return false;
+    }
+    generate_seconds = timer.ElapsedSeconds();
+  }
+
+  bool ok = false;
+  {
+    auto opened = FileArrivalSource::Open(path);
+    if (!opened.ok()) {
+      std::cerr << "run_benchmarks: large tier open: "
+                << opened.status().ToString() << "\n";
+    } else {
+      FileArrivalSource& file = **opened;
+
+      PartitionerOptions popts;
+      popts.k = cfg.k;
+      popts.num_vertices_hint = file.NumVertices();
+      popts.num_edges_hint = file.NumEdges();
+      auto ldg = MakePartitioner("ldg", popts);
+      if (!ldg.ok()) {
+        std::cerr << "run_benchmarks: large tier partitioner: "
+                  << ldg.status().ToString() << "\n";
+      } else {
+        RestreamOptions ropts;
+        ropts.num_passes = 2;  // pass one + one incremental replay pass
+        ropts.order = RestreamOrder::kGain;
+        const Restreamer restreamer(&file, ropts);
+        const RestreamResult r = restreamer.Run(ldg->get());
+
+        const uint64_t peak = PeakRssBytes();
+        const uint64_t ceiling =
+            kLargeRssBaseBytes + kLargeRssPerVertexBytes * file.IdBound();
+        const bool rss_ok = peak > 0 && peak <= ceiling;
+        const RestreamPassStats& p1 = r.passes.front();
+        const RestreamPassStats& p2 = r.passes.back();
+
+        if (r.passes.size() != 2 || p1.forced_placements != 0 ||
+            p1.assign_errors != 0 || p2.assign_errors != 0) {
+          std::cerr << "run_benchmarks: large tier partition contract "
+                       "violated\n";
+        } else if (restreamer.materializations() != 0) {
+          std::cerr << "run_benchmarks: large tier materialised "
+                    << restreamer.materializations()
+                    << "x O(E) state (out-of-core replay must not)\n";
+        } else if (!rss_ok) {
+          std::cerr << "run_benchmarks: large tier peak RSS " << peak
+                    << " bytes exceeds the O(V) ceiling " << ceiling
+                    << " bytes\n";
+        } else {
+          JsonObject row;
+          row.Add("tier", std::string(generated ? "file-backed-ba"
+                                                : "file-backed-input"));
+          row.Add("partitioner", std::string("ldg"));
+          row.Add("ordering", RestreamOrderName(ropts.order));
+          row.Add("num_vertices", file.NumVertices());
+          row.Add("num_edges", file.NumEdges());
+          row.Add("file_bytes", file.info().file_bytes);
+          row.Add("k", static_cast<uint64_t>(cfg.k));
+          row.Add("generate_seconds", generate_seconds);
+          row.Add("partition_seconds", p1.seconds);
+          row.Add("restream_seconds", p2.seconds);
+          row.Add("vertices_per_second",
+                  p1.seconds > 0
+                      ? static_cast<double>(file.NumVertices()) / p1.seconds
+                      : 0.0);
+          row.Add("edge_cut_fraction_before", p1.edge_cut_fraction);
+          row.Add("edge_cut_fraction_after", r.edge_cut_fraction);
+          row.Add("migration_fraction", p2.migration_fraction);
+          row.Add("balance", p2.balance);
+          row.Add("materializations", restreamer.materializations());
+          row.Add("peak_rss_bytes", peak);
+          row.Add("rss_ceiling_bytes", ceiling);
+          row.AddRaw("rss_ok", "true");
+          rows->push_back(std::move(row));
+          ok = true;
+        }
+      }
+    }
+  }
+  if (generated) std::remove(path.c_str());
+  return ok;
+}
 
 // ----------------------------------------------------------------- edge cut
 
@@ -91,6 +237,7 @@ bool RunRestreamRows(const EdgeCutConfig& cfg, const Workload& workload,
         row.Add("forced_placements", s.forced_placements);
         row.Add("assign_errors", s.assign_errors);
         row.Add("seconds", s.seconds);
+        row.Add("peak_rss_bytes", PeakRssBytes());
         rows->push_back(std::move(row));
       }
     }
@@ -261,6 +408,7 @@ bool RunParallelRestreamRows(const EdgeCutConfig& cfg,
         row.Add("forced_placements", r.forced_placements);
         row.Add("assign_errors", r.assign_errors);
         row.Add("seconds", r.wall_seconds);
+        row.Add("peak_rss_bytes", PeakRssBytes());
         row.Add("critical_path_seconds", r.critical_path_seconds);
         row.Add("serial_seconds", serial.wall_seconds);
         row.Add("speedup_vs_serial",
@@ -310,6 +458,7 @@ bool RunDriftRows(bool fast, std::vector<JsonObject>* rows) {
 
   const auto common = [&](JsonObject* row) {
     row->Add("scenario", std::string("piecewise-stationary"));
+    row->Add("peak_rss_bytes", PeakRssBytes());
     row->Add("max_migration_fraction", r.max_migration_fraction);
     row->Add("fire_tick", static_cast<uint64_t>(r.fire_tick));
     row->Add("stationary_fires", static_cast<uint64_t>(r.stationary_fires));
@@ -370,6 +519,7 @@ bool RunServingRows(bool fast, std::vector<JsonObject>* rows) {
 
   const auto common = [&](JsonObject* row) {
     row->Add("scenario", std::string("serving-under-drift"));
+    row->Add("peak_rss_bytes", PeakRssBytes());
     row->Add("num_clients", static_cast<uint64_t>(config.num_clients));
     row->Add("front_end_shards",
              static_cast<uint64_t>(config.front_end_shards));
@@ -408,8 +558,15 @@ bool RunServingRows(bool fast, std::vector<JsonObject>* rows) {
   return true;
 }
 
-bool RunEdgeCutSection(const EdgeCutConfig& cfg, const std::string& mode,
-                       uint32_t threads, const std::string& path) {
+bool RunEdgeCutSection(const EdgeCutConfig& cfg, const LargeConfig& large_cfg,
+                       const std::string& mode, uint32_t threads,
+                       const std::string& path) {
+  // The large tier goes first: its O(V) peak-RSS assertion is against the
+  // process high-water mark, which the in-memory sections below would
+  // otherwise raise (see RunLargeSection).
+  std::vector<JsonObject> large_rows;
+  if (!RunLargeSection(large_cfg, &large_rows)) return false;
+
   WorkloadGenOptions wopts;
   wopts.num_queries = 3;
   Workload workload = PathWorkload(wopts);
@@ -441,6 +598,7 @@ bool RunEdgeCutSection(const EdgeCutConfig& cfg, const std::string& mode,
       row.Add("edge_cut_fraction", r.cut_fraction);
       row.Add("balance", r.balance);
       row.Add("seconds", r.seconds);
+      row.Add("peak_rss_bytes", PeakRssBytes());
       const double vps =
           r.seconds > 0 ? static_cast<double>(r.num_vertices) / r.seconds : 0;
       row.Add("vertices_per_second", vps);
@@ -476,9 +634,10 @@ bool RunEdgeCutSection(const EdgeCutConfig& cfg, const std::string& mode,
   config.Add("threads", static_cast<uint64_t>(threads));
 
   JsonObject root;
-  root.Add("schema", std::string("loom-bench-edge-cut-v5"));
+  root.Add("schema", std::string("loom-bench-edge-cut-v6"));
   root.Add("mode", mode);
   root.AddRaw("config", config.Render(2));
+  root.AddRaw("large", RenderArray(large_rows, 2));
   root.AddRaw("results", RenderArray(rows, 2));
   root.AddRaw("restream", RenderArray(restream_rows, 2));
   root.AddRaw("parallel_restream", RenderArray(parallel_rows, 2));
@@ -493,6 +652,9 @@ int Main(int argc, char** argv) {
   bool fast = true;
   std::string out_dir = ".";
   uint32_t threads = 4;
+  uint64_t large_n = 0;  // 0 = mode default
+  uint32_t large_degree = 10;
+  std::string large_file;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--fast") {
@@ -504,9 +666,17 @@ int Main(int argc, char** argv) {
     } else if (arg == "--threads" && i + 1 < argc) {
       const int parsed = std::atoi(argv[++i]);
       threads = parsed < 1 ? 1 : static_cast<uint32_t>(parsed);
+    } else if (arg == "--large-n" && i + 1 < argc) {
+      large_n = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--large-degree" && i + 1 < argc) {
+      const int parsed = std::atoi(argv[++i]);
+      large_degree = parsed < 1 ? 1 : static_cast<uint32_t>(parsed);
+    } else if (arg == "--large-file" && i + 1 < argc) {
+      large_file = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "Usage: run_benchmarks [--fast|--full] [--out DIR] "
-                   "[--threads N]\n";
+                   "[--threads N] [--large-n N] [--large-degree M] "
+                   "[--large-file PATH]\n";
       return 0;
     } else {
       std::cerr << "run_benchmarks: unknown argument '" << arg << "'\n";
@@ -525,6 +695,15 @@ int Main(int argc, char** argv) {
   }
   const std::string mode = fast ? "fast" : "full";
 
+  // Large tier scale: the fast default keeps the section to ~a second while
+  // still exercising the whole file-backed path; --full runs the
+  // LiveJournal-class configuration from the acceptance criteria.
+  LargeConfig large_cfg;
+  large_cfg.n = large_n != 0 ? large_n : (fast ? 60000 : 5000000);
+  large_cfg.degree = large_degree;
+  large_cfg.file = large_file;
+  large_cfg.work_dir = out_dir;
+
   const std::string edge_cut_path = out_dir + "/BENCH_edge_cut.json";
   const std::string micro_path = out_dir + "/BENCH_micro.json";
 
@@ -540,7 +719,9 @@ int Main(int argc, char** argv) {
   };
 
   std::cout << "run_benchmarks: edge-cut section (" << mode << ") ...\n";
-  if (!RunEdgeCutSection(cfg, mode, threads, edge_cut_tmp)) return fail();
+  if (!RunEdgeCutSection(cfg, large_cfg, mode, threads, edge_cut_tmp)) {
+    return fail();
+  }
 
   std::cout << "run_benchmarks: micro section (" << mode << ") ...\n";
   const std::vector<MicroResult> micro = RunMicroLoops(fast);
