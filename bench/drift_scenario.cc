@@ -140,6 +140,11 @@ DriftScenarioResult RunDriftScenario(const DriftScenarioConfig& config) {
     ropts.num_passes = config.cold_passes;
     ropts.order = RestreamOrder::kGain;
     ropts.seed = config.seed;
+    // The cold bracket is a fixed reference for the reaction contract, so it
+    // pins the classic full-rematch replay: cluster-memoized passes regroup
+    // arrivals by recorded unit, which under gain ordering can shift the cut
+    // by a few tenths of a point and silently move the contract's goalposts.
+    ropts.memoize_clusters = false;
     WallTimer timer;
     const Restreamer restreamer(stream, ropts);
     const RestreamResult cold_result = restreamer.Run(cold->get());

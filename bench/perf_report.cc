@@ -5,8 +5,10 @@
 #include <iostream>
 
 #include "common/timer.h"
+#include "matching/stream_matcher.h"
 #include "motif/canonical.h"
 #include "motif/signature.h"
+#include "partition/gain_scorer.h"
 #include "partition/hash_partitioner.h"
 #include "partition/ldg_partitioner.h"
 #include "stream/window.h"
@@ -188,6 +190,102 @@ std::vector<MicroResult> RunMicroLoops(bool fast) {
         if (w.Full()) w.PopOldest();
         w.Push(v, v % 4,
                v > 0 ? std::vector<VertexId>{v - 1} : std::vector<VertexId>{});
+      }
+    }));
+  }
+
+  {
+    // The blocked gain kernel behind every LOOM scoring site
+    // (ScoreVertices / chunk scoring / AssignSingle): gather a 16-member
+    // unit's weighted edges, flat-accumulate into k partitions, compact the
+    // touched set. One iteration = one unit scored.
+    const uint32_t k = 16;
+    const uint32_t num_labels = 4;
+    const uint32_t pool = 4096;
+    const uint32_t unit_size = 16;
+    const uint32_t degree = 8;
+    BlockedGainScorer scorer;
+    scorer.Configure(k, num_labels, /*use_weights=*/true,
+                     /*untraversed_weight=*/0.05);
+    for (Label a = 0; a < num_labels; ++a) {
+      for (Label b = a; b < num_labels; ++b) {
+        scorer.SetEdgeWeight(a, b, 0.1 + 0.05 * static_cast<double>(a + b));
+      }
+    }
+    Rng rng(3);
+    std::vector<Label> label_of(pool);
+    std::vector<int32_t> part_of(pool);
+    std::vector<VertexId> neighbors(pool);
+    for (uint32_t v = 0; v < pool; ++v) {
+      label_of[v] = static_cast<Label>(rng.UniformInt(0, num_labels - 1));
+      // ~1/17 unassigned, like a live window mid-stream.
+      part_of[v] = static_cast<int32_t>(rng.UniformInt(0, k)) - 1;
+      neighbors[v] = static_cast<VertexId>(rng.UniformInt(0, pool - 1));
+    }
+    std::vector<double> scores(k, 0.0);
+    uint32_t base = 0;
+    out.push_back(TimeLoop("score_vertices", fast ? 20000 : 200000, unit_size,
+                           [&] {
+                             scorer.BeginUnit();
+                             for (uint32_t m = 0; m < unit_size; ++m) {
+                               const uint32_t v = (base + m * 37) % pool;
+                               scorer.AddMember(
+                                   label_of[v],
+                                   Span<const VertexId>(
+                                       neighbors.data() + v % (pool - degree),
+                                       degree),
+                                   label_of,
+                                   [&](VertexId w) { return part_of[w]; });
+                             }
+                             scorer.Commit(&scores);
+                             base = (base + unit_size) % pool;
+                           }));
+  }
+
+  {
+    // The matcher's closure extraction on a motif-planted stream: push each
+    // arrival through a 256-slot sliding window and query the evicted
+    // vertex's transitive match closure — the per-eviction cost of LOOM's
+    // cluster path. One item = one arrival processed.
+    Rng rng(4);
+    const uint32_t n = fast ? 2000 : 8000;
+    LabeledGraph g = BarabasiAlbert(n, 4, LabelConfig{3, 0.0}, rng);
+    PlantMotifs(&g, TriangleQuery(0, 1, 2), n / 32, rng, /*locality_span=*/16);
+    const GraphStream stream = MakeStream(g, StreamOrder::kRandom, rng);
+    Workload w;
+    if (!w.Add("tri", TriangleQuery(0, 1, 2), 1.0).ok()) return out;
+    w.Normalize();
+    auto trie = BuildTrie(w);
+    if (!trie.ok()) return out;
+    StreamMatcherOptions mopts;
+    mopts.frequency_threshold = 0.3;
+    const uint32_t window_size = 256;
+    std::vector<uint8_t> in_window(n);
+    std::vector<VertexId> ring(window_size);
+    std::vector<VertexId> filtered;
+    out.push_back(TimeLoop("match_closure", fast ? 2 : 6, n, [&] {
+      StreamMatcher m(trie->get(), mopts);
+      std::fill(in_window.begin(), in_window.end(), 0);
+      uint32_t live = 0;
+      uint64_t count = 0;
+      for (const VertexArrival& a : stream.arrivals()) {
+        const uint32_t pos = static_cast<uint32_t>(count++ % window_size);
+        if (live == window_size) {
+          const VertexId victim = ring[pos];
+          const std::vector<VertexId> closure = m.MatchClosureFor(victim);
+          (void)closure;
+          m.RemoveVertex(victim);
+          in_window[victim] = 0;
+          --live;
+        }
+        filtered.clear();
+        for (const VertexId w2 : a.back_edges) {
+          if (in_window[w2]) filtered.push_back(w2);
+        }
+        m.OnVertex(a.vertex, a.label, filtered);
+        ring[pos] = a.vertex;
+        in_window[a.vertex] = 1;
+        ++live;
       }
     }));
   }

@@ -56,6 +56,16 @@ struct LoomStats {
   uint64_t split_chunks = 0;
   /// Vertices assigned individually by plain LDG.
   uint64_t single_vertices = 0;
+  /// Memoized restream replay (stream/cluster_log.h): units recalled from
+  /// the previous pass's log and scored directly, bypassing the
+  /// window/matcher pipeline.
+  uint64_t memo_units = 0;
+  /// Vertices placed via memoized units.
+  uint64_t memo_vertices = 0;
+  /// Recalled units rejected by the correctness gate (a member's label or
+  /// neighbourhood fingerprint changed, or members arrived un-grouped);
+  /// their vertices fell back to the full pipeline.
+  uint64_t memo_invalidated = 0;
 };
 
 }  // namespace loom

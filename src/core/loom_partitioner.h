@@ -19,12 +19,14 @@
 /// paper flags as future work (§4.4, §5).
 
 #include <memory>
+#include <utility>
 
-#include "common/flat_map.h"
 #include "common/small_vector.h"
 #include "core/loom_options.h"
 #include "matching/stream_matcher.h"
+#include "partition/gain_scorer.h"
 #include "partition/partitioner.h"
+#include "stream/cluster_log.h"
 #include "stream/window.h"
 #include "tpstry/tpstry_pp.h"
 
@@ -67,10 +69,90 @@ class LoomPartitioner : public StreamingPartitioner {
   const LoomStats& loom_stats() const { return loom_stats_; }
   const StreamMatcherStats& matcher_stats() const { return matcher_.stats(); }
 
+  /// Cluster memoization (stream/cluster_log.h): when logging is on, the
+  /// partitioner records every unit it assigns (singles and pre-split motif
+  /// clusters, in assignment order); with a memo installed, recalled units
+  /// are scored straight off their buffered arrivals through the blocked
+  /// kernel — no window, no matcher — unless the correctness gate
+  /// invalidates them (changed label/neighbourhood fingerprint, or
+  /// un-grouped arrival order), in which case their members flow through
+  /// the normal pipeline.
+  void SetClusterLogging(bool enabled) override;
+  const ClusterLog* cluster_log() const override {
+    return log_enabled_ ? &cluster_log_ : nullptr;
+  }
+  void TakeClusterLog(ClusterLog* out) override {
+    if (!log_enabled_) return;
+    *out = std::move(cluster_log_);
+    cluster_log_.Reset(false);  // restore the moved-from invariant
+  }
+  void SetClusterMemo(const ClusterMemo* memo) override;
+
  private:
   /// Re-derives the per-label-pair traversal weights from `trie_` (no-op
   /// unless traversal weighting is enabled).
   void RebuildEdgeWeights();
+
+  /// The normal per-arrival pipeline: evict if full, buffer into the
+  /// window, feed the matcher. Factored out of OnVertex so memo fallbacks
+  /// can re-feed buffered arrivals through it.
+  void StreamIntoWindow(VertexId v, Label label,
+                        Span<const VertexId> back_edges);
+
+  /// Memoized-replay arrival handling. Returns true when the arrival was
+  /// consumed (buffered into, or completing, a recalled unit); false sends
+  /// it through the normal pipeline.
+  bool HandleMemoArrival(VertexId v, Label label,
+                         Span<const VertexId> back_edges);
+
+  /// Scores and places the buffered unit (whole-unit first, split/individual
+  /// fallbacks mirroring EvictOldest), records it into this pass's log, and
+  /// clears the buffer.
+  void AssignPendingUnit();
+
+  /// Places buffered member `index` by single-vertex LDG (memoized
+  /// equivalent of AssignSingle).
+  void AssignPendingSingle(uint32_t index);
+
+  /// Splits the buffered unit into connected chunks (memoized equivalent of
+  /// SplitAndAssignCluster, over arrival adjacency instead of the window).
+  void SplitPendingUnit();
+
+  /// Invalidation fallback: marks the pending unit invalid and re-feeds its
+  /// buffered members through the window/matcher pipeline.
+  void FlushPendingToPipeline();
+
+  void ClearPending();
+
+  /// Neighbourhood of buffered member `index` (into the flat arena).
+  Span<const VertexId> PendingNeighbors(uint32_t index) const {
+    return Span<const VertexId>(
+        pending_neighbors_.data() + pending_offsets_[index],
+        pending_offsets_[index + 1] - pending_offsets_[index]);
+  }
+
+  /// Records one member of the unit being logged (fingerprint only when the
+  /// log carries complete neighbourhoods).
+  void LogUnitMember(VertexId v, Label label, Span<const VertexId> neighbors) {
+    cluster_log_.AddMember(
+        v, cluster_log_.fingerprints_complete()
+               ? ClusterLog::Fingerprint(label, neighbors)
+               : 0);
+  }
+
+  /// Shared connectivity-aware split core behind SplitAndAssignCluster
+  /// (window adjacency) and SplitPendingUnit (buffered arrival adjacency):
+  /// BFS-grows connected chunks no larger than the largest free capacity,
+  /// scores each through the blocked kernel and places it as a unit, falling
+  /// back to per-member placement. `slot_of` maps a vertex to a dense index
+  /// < `state_size` (or -1 when not a cluster member); `neighbors_of` reads
+  /// a member's adjacency by that index.
+  template <typename SlotFn, typename NeighborsFn, typename PlaceChunkFn,
+            typename PlaceSinglesFn>
+  void SplitClusterCore(Span<const VertexId> seeds, size_t state_size,
+                        SlotFn&& slot_of, NeighborsFn&& neighbors_of,
+                        PlaceChunkFn&& place_chunk,
+                        PlaceSinglesFn&& place_singles);
 
   /// Assigns the oldest window member (with its motif closure, if any).
   void EvictOldest();
@@ -86,14 +168,12 @@ class LoomPartitioner : public StreamingPartitioner {
   /// fit the remaining capacities and assigns each chunk as a unit.
   void SplitAndAssignCluster(const std::vector<VertexId>& cluster);
 
-  /// Traversal weight of an edge to neighbour `w` (1.0 when traversal
-  /// weighting is disabled; the label-pair p-value otherwise).
-  double EdgeWeightTo(Label member_label, VertexId w) const;
-
   /// Accumulates the (possibly weighted) LDG scores of `vertices`' edges
-  /// into each partition. Only edges to assigned vertices count.
+  /// into each partition via the blocked kernel; `scorer_.touched()` lists
+  /// the dirtied partitions afterwards. Only edges to assigned vertices
+  /// count.
   void ScoreVertices(const std::vector<VertexId>& vertices,
-                     std::vector<double>* scores) const;
+                     std::vector<double>* scores);
 
   LoomOptions loom_options_;
   StreamWindow window_;
@@ -102,15 +182,41 @@ class LoomPartitioner : public StreamingPartitioner {
   /// `stats_` so neither shadows the other.
   LoomStats loom_stats_;
   std::vector<double> scores_;
-  /// Partitions dirtied in `scores_` by the previous scoring round; mutable
-  /// because `ScoreVertices` (const) owns the reset-then-accumulate cycle.
-  mutable SmallVector<uint32_t, 16> touched_scores_;
+  /// The one reset-then-accumulate scoring kernel: every writer of `scores_`
+  /// (cluster scoring, chunk scoring, single-vertex LDG) goes through it, so
+  /// the touched-partition invariant lives in one place. Also owns the dense
+  /// label-pair traversal-weight table.
+  BlockedGainScorer scorer_;
+  /// Per-arrival scratch for the in-window back-edge filter (reused so the
+  /// hot path stays amortized allocation-free).
+  std::vector<VertexId> in_window_scratch_;
+  /// Cluster-split scratch, keyed by window slot: 0 = not in the cluster,
+  /// 1 = in the cluster and unplaced, 2 = placed into a chunk.
+  std::vector<uint8_t> split_state_;
   /// Label of every vertex ever seen (index = VertexId); needed to weight
   /// edges towards already-assigned endpoints.
   std::vector<Label> label_of_;
-  /// Traversal probability per signature edge-factor index (from the trie's
-  /// one-edge motifs); empty when weighting is disabled.
-  FlatMap<uint32_t, double> edge_weight_;
+
+  // --- Cluster memoization state (stream/cluster_log.h) ---
+  /// Recording switch; off by default so single-pass streaming pays nothing.
+  bool log_enabled_ = false;
+  /// The decomposition this pass assigned (valid when log_enabled_).
+  ClusterLog cluster_log_;
+  /// Previous pass's decomposition to replay, or null (not owned).
+  const ClusterMemo* memo_ = nullptr;
+  /// Per recalled unit: 1 once the correctness gate rejected it.
+  std::vector<uint8_t> invalid_units_;
+  /// The one unit currently buffering (grouped arrival order guarantees at
+  /// most one): its id, its members so far, and their neighbourhoods in a
+  /// flat arena.
+  int32_t pending_unit_ = -1;
+  SmallVector<VertexId, 32> pending_ids_;
+  /// Validation-time fingerprints, cached so the re-log never hashes a
+  /// neighbourhood twice (0 = not computed; real fingerprints are never 0).
+  SmallVector<uint64_t, 32> pending_fps_;
+  std::vector<VertexId> pending_neighbors_;
+  SmallVector<uint32_t, 33> pending_offsets_{0};
+
   const TpstryPP* trie_;
 };
 

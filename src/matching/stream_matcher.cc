@@ -2,8 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
-#include <deque>
-#include <unordered_set>
+#include <unordered_map>
 
 #include "common/hash.h"
 #include "motif/canonical.h"
@@ -29,6 +28,24 @@ bool ContainsEdge(const SmallVector<Edge, 8>& sorted_edges, const Edge& e) {
   return it != sorted_edges.end() && EdgeBits(*it) == bits;
 }
 
+/// Inserts a normalized edge into a list kept sorted by encoding.
+void InsertEdgeSorted(SmallVector<Edge, 8>* edges, const Edge& e) {
+  const uint64_t bits = EdgeBits(e);
+  const Edge* pos = std::lower_bound(
+      edges->begin(), edges->end(), bits,
+      [](const Edge& x, uint64_t b) { return EdgeBits(x) < b; });
+  edges->insert(pos, e);
+}
+
+/// Membership test + insert into a sorted key set (the re-grow "considered"
+/// set); returns true when newly inserted.
+bool ConsiderOnce(SmallVector<uint64_t, 64>* sorted, uint64_t key) {
+  uint64_t* pos = std::lower_bound(sorted->begin(), sorted->end(), key);
+  if (pos != sorted->end() && *pos == key) return false;
+  sorted->insert(pos, key);
+  return true;
+}
+
 }  // namespace
 
 StreamMatcher::StreamMatcher(const TpstryPP* trie,
@@ -45,30 +62,62 @@ uint64_t StreamMatcher::KeyOf(const SmallVector<Edge, 8>& edges) {
 }
 
 Label StreamMatcher::LabelIn(VertexId v) const {
-  const auto it = labels_.find(v);
-  assert(it != labels_.end());
-  return it->second;
+  const int32_t s = SlotOf(v);
+  assert(s >= 0);
+  return label_by_slot_[s];
 }
 
 bool StreamMatcher::InAlphabet(Label label) const {
   return label < trie_->scheme().num_labels();
 }
 
+uint32_t StreamMatcher::AllocSlot(VertexId v) {
+  if (v >= slot_of_.size()) {
+    size_t grown = slot_of_.empty() ? 1024 : slot_of_.size() * 2;
+    if (grown < static_cast<size_t>(v) + 1) grown = static_cast<size_t>(v) + 1;
+    slot_of_.resize(grown, -1);
+  }
+  if (slot_of_[v] >= 0) return static_cast<uint32_t>(slot_of_[v]);
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(label_by_slot_.size());
+    label_by_slot_.emplace_back();
+    id_by_slot_.emplace_back();
+    adj_by_slot_.emplace_back();
+    keys_by_slot_.emplace_back();
+    in_closure_.push_back(0);
+  }
+  slot_of_[v] = static_cast<int32_t>(slot);
+  id_by_slot_[slot] = v;
+  return slot;
+}
+
 void StreamMatcher::OnVertex(VertexId v, Label label,
-                             const std::vector<VertexId>& window_back_edges) {
-  labels_.emplace(v, label);
-  adjacency_.emplace(v);
-  for (const VertexId w : window_back_edges) {
-    assert(labels_.count(w) > 0 && "back edge endpoint not in window");
-    adjacency_[v].push_back(w);
-    adjacency_[w].push_back(v);
+                             const std::vector<VertexId>& back_edges) {
+  const bool fresh = SlotOf(v) < 0;
+  const uint32_t slot = AllocSlot(v);
+  // A duplicate arrival keeps the original label (emplace semantics of the
+  // map this replaced); its adjacency keeps accumulating.
+  if (fresh) label_by_slot_[slot] = label;
+  for (const VertexId w : back_edges) {
+    const int32_t ws = SlotOf(w);
+    assert(ws >= 0 && "back edge endpoint not in window");
+    if (ws < 0) continue;
+    adj_by_slot_[slot].push_back(static_cast<uint32_t>(ws));
+    adj_by_slot_[ws].push_back(slot);
   }
   // Edges with an out-of-alphabet endpoint can never start or extend a
   // motif; skipping them here keeps every signature update inside the
   // scheme (the stream's label universe may exceed the workload's).
-  if (!InAlphabet(label)) return;
-  for (const VertexId w : window_back_edges) {
-    if (InAlphabet(LabelIn(w))) ProcessEdge(w, v);
+  if (!InAlphabet(label_by_slot_[slot])) return;
+  for (const VertexId w : back_edges) {
+    const int32_t ws = SlotOf(w);
+    if (ws >= 0 && InAlphabet(label_by_slot_[ws])) {
+      ProcessEdge(static_cast<uint32_t>(ws), slot);
+    }
   }
 }
 
@@ -93,8 +142,9 @@ bool StreamMatcher::ResolveNode(Tracked* t) const {
 std::string StreamMatcher::CanonicalOf(const Tracked& t) const {
   LabeledGraph g;
   std::unordered_map<VertexId, VertexId> local;
-  for (const VertexId v : t.vertices) {
-    local.emplace(v, g.AddVertex(LabelIn(v)));
+  for (size_t i = 0; i < t.vertices.size(); ++i) {
+    local.emplace(t.vertices[i],
+                  g.AddVertex(label_by_slot_[t.slots[i]]));
   }
   for (const Edge& e : t.edges) {
     g.AddEdgeUnchecked(local.at(e.u), local.at(e.v));
@@ -112,11 +162,9 @@ bool StreamMatcher::Insert(Tracked t) {
   if (tracked_.count(key) > 0) return false;
   // Per-vertex saturation valve: bounds growth work in motif-dense windows.
   // The index uses lazy deletion, so compact each list before judging it.
-  for (const VertexId v : t.vertices) {
-    const auto it = by_vertex_.find(v);
-    if (it == by_vertex_.end()) continue;
-    if (it->second.size() >= options_.max_tracked_per_vertex) {
-      auto& keys = it->second;
+  for (const uint32_t s : t.slots) {
+    auto& keys = keys_by_slot_[s];
+    if (keys.size() >= options_.max_tracked_per_vertex) {
       keys.erase(std::remove_if(keys.begin(), keys.end(),
                                 [this](uint64_t k) {
                                   return tracked_.count(k) == 0;
@@ -128,40 +176,51 @@ bool StreamMatcher::Insert(Tracked t) {
       }
     }
   }
-  for (const VertexId v : t.vertices) by_vertex_[v].push_back(key);
+  for (const uint32_t s : t.slots) keys_by_slot_[s].push_back(key);
   tracked_.emplace(key, std::move(t));
   stats_.max_tracked_live =
       std::max(stats_.max_tracked_live, static_cast<uint64_t>(tracked_.size()));
   return true;
 }
 
-bool StreamMatcher::TryGrow(const Tracked& base, VertexId u, VertexId v) {
+bool StreamMatcher::TryGrow(const Tracked& base, uint32_t u_slot,
+                            uint32_t v_slot) {
+  const VertexId u = id_by_slot_[u_slot];
+  const VertexId v = id_by_slot_[v_slot];
   const Edge e = Edge{u, v}.Normalized();
   if (ContainsEdge(base.edges, e)) return false;
   const bool has_u = ContainsVertex(base.vertices, e.u);
   const bool has_v = ContainsVertex(base.vertices, e.v);
   if (!has_u && !has_v) return false;  // edge not incident to the sub-graph
 
+  const uint32_t eu_slot = e.u == u ? u_slot : v_slot;
+  const uint32_t ev_slot = e.u == u ? v_slot : u_slot;
+  const Label lu = label_by_slot_[eu_slot];
+  const Label lv = label_by_slot_[ev_slot];
+
   Tracked grown;
   grown.edges = base.edges;
-  grown.edges.push_back(e);
-  std::sort(grown.edges.begin(), grown.edges.end(),
-            [](const Edge& a, const Edge& b) {
-              return EdgeBits(a) < EdgeBits(b);
-            });
+  InsertEdgeSorted(&grown.edges, e);
   grown.vertices = base.vertices;
+  grown.slots = base.slots;
   grown.signature = base.signature;
   const SignatureScheme& scheme = trie_->scheme();
+  const auto add_vertex = [&grown](VertexId x, uint32_t xs) {
+    const VertexId* pos =
+        std::lower_bound(grown.vertices.begin(), grown.vertices.end(), x);
+    const size_t i = static_cast<size_t>(pos - grown.vertices.begin());
+    grown.vertices.insert(pos, x);
+    grown.slots.insert(grown.slots.begin() + i, xs);
+  };
   if (!has_u) {
-    grown.vertices.push_back(e.u);
-    scheme.MultiplyVertex(&grown.signature, LabelIn(e.u));
+    add_vertex(e.u, eu_slot);
+    scheme.MultiplyVertex(&grown.signature, lu);
   }
   if (!has_v) {
-    grown.vertices.push_back(e.v);
-    scheme.MultiplyVertex(&grown.signature, LabelIn(e.v));
+    add_vertex(e.v, ev_slot);
+    scheme.MultiplyVertex(&grown.signature, lv);
   }
-  std::sort(grown.vertices.begin(), grown.vertices.end());
-  scheme.MultiplyEdge(&grown.signature, LabelIn(e.u), LabelIn(e.v));
+  scheme.MultiplyEdge(&grown.signature, lu, lv);
 
   if (!ResolveNode(&grown)) {
     ++stats_.growths_rejected;
@@ -172,16 +231,15 @@ bool StreamMatcher::TryGrow(const Tracked& base, VertexId u, VertexId v) {
   return true;
 }
 
-void StreamMatcher::ProcessEdge(VertexId u, VertexId v) {
+void StreamMatcher::ProcessEdge(uint32_t u_slot, uint32_t v_slot) {
   ++stats_.edges_processed;
 
   // Candidate bases: every tracked sub-graph touching either endpoint.
-  std::vector<uint64_t> candidate_keys;
-  for (const VertexId x : {u, v}) {
-    const auto it = by_vertex_.find(x);
-    if (it == by_vertex_.end()) continue;
-    candidate_keys.insert(candidate_keys.end(), it->second.begin(),
-                          it->second.end());
+  SmallVector<uint64_t, 16> candidate_keys;
+  for (const uint32_t s : {u_slot, v_slot}) {
+    for (const uint64_t key : keys_by_slot_[s]) {
+      candidate_keys.push_back(key);
+    }
   }
   std::sort(candidate_keys.begin(), candidate_keys.end());
   candidate_keys.erase(
@@ -199,7 +257,7 @@ void StreamMatcher::ProcessEdge(VertexId u, VertexId v) {
     if (it->second.edges.size() >= max_edges) continue;
     // Copy the base: TryGrow mutates tracked_ on success.
     const Tracked base = it->second;
-    if (TryGrow(base, u, v)) {
+    if (TryGrow(base, u_slot, v_slot)) {
       tracked_.erase(key);  // previous signature discarded (paper semantics)
       any_growth = true;
     }
@@ -210,84 +268,106 @@ void StreamMatcher::ProcessEdge(VertexId u, VertexId v) {
   // with re-grow (Fig. 3) search the window for the largest motif match
   // containing it; otherwise just track the fresh edge sub-graph.
   if (options_.use_regrow) {
-    ReGrow(u, v);
+    ReGrow(u_slot, v_slot);
     return;
   }
+  const VertexId u = id_by_slot_[u_slot];
+  const VertexId v = id_by_slot_[v_slot];
   Tracked fresh;
   const Edge e = Edge{u, v}.Normalized();
   fresh.vertices = {e.u, e.v};
+  fresh.slots = {e.u == u ? u_slot : v_slot, e.u == u ? v_slot : u_slot};
   fresh.edges = {e};
   const SignatureScheme& scheme = trie_->scheme();
-  scheme.MultiplyVertex(&fresh.signature, LabelIn(e.u));
-  scheme.MultiplyVertex(&fresh.signature, LabelIn(e.v));
-  scheme.MultiplyEdge(&fresh.signature, LabelIn(e.u), LabelIn(e.v));
+  scheme.MultiplyVertex(&fresh.signature, label_by_slot_[fresh.slots[0]]);
+  scheme.MultiplyVertex(&fresh.signature, label_by_slot_[fresh.slots[1]]);
+  scheme.MultiplyEdge(&fresh.signature, label_by_slot_[fresh.slots[0]],
+                      label_by_slot_[fresh.slots[1]]);
   if (ResolveNode(&fresh)) Insert(std::move(fresh));
 }
 
-void StreamMatcher::ReGrow(VertexId u, VertexId v) {
+void StreamMatcher::ReGrow(uint32_t u_slot, uint32_t v_slot) {
   ++stats_.regrow_invocations;
   const SignatureScheme& scheme = trie_->scheme();
+  const VertexId u = id_by_slot_[u_slot];
+  const VertexId v = id_by_slot_[v_slot];
 
   Tracked current;
-  current.vertices = {std::min(u, v), std::max(u, v)};
+  if (u < v) {
+    current.vertices = {u, v};
+    current.slots = {u_slot, v_slot};
+  } else {
+    current.vertices = {v, u};
+    current.slots = {v_slot, u_slot};
+  }
   current.edges = {Edge{u, v}.Normalized()};
-  scheme.MultiplyVertex(&current.signature, LabelIn(u));
-  scheme.MultiplyVertex(&current.signature, LabelIn(v));
-  scheme.MultiplyEdge(&current.signature, LabelIn(u), LabelIn(v));
+  scheme.MultiplyVertex(&current.signature, label_by_slot_[u_slot]);
+  scheme.MultiplyVertex(&current.signature, label_by_slot_[v_slot]);
+  scheme.MultiplyEdge(&current.signature, label_by_slot_[u_slot],
+                      label_by_slot_[v_slot]);
   if (!ResolveNode(&current)) return;  // the edge itself is not a motif
 
   // Frontier: window edges incident to the current sub-graph, explored FIFO
   // starting from the seed edge's endpoints; an edge rejected once is
-  // discarded for good ("do not traverse to its neighbours").
+  // discarded for good ("do not traverse to its neighbours"). Both the
+  // frontier and the considered set are flat scratch (no node allocations).
   const size_t max_edges = trie_->MaxMotifEdges();
-  std::deque<Edge> frontier;
-  std::unordered_set<uint64_t> considered;
-  considered.insert(EdgeBits(Edge{u, v}));
-  auto push_incident = [&](VertexId x) {
-    const auto it = adjacency_.find(x);
-    if (it == adjacency_.end()) return;
-    for (const VertexId w : it->second) {
+  SmallVector<FrontierEdge, 32> frontier;
+  size_t frontier_head = 0;
+  SmallVector<uint64_t, 64> considered;
+  ConsiderOnce(&considered, EdgeBits(Edge{u, v}));
+  auto push_incident = [&](uint32_t x_slot) {
+    const VertexId x = id_by_slot_[x_slot];
+    for (const uint32_t ws : adj_by_slot_[x_slot]) {
+      const VertexId w = id_by_slot_[ws];
       const Edge e = Edge{x, w}.Normalized();
-      if (considered.insert(EdgeBits(e)).second) frontier.push_back(e);
+      if (ConsiderOnce(&considered, EdgeBits(e))) {
+        frontier.push_back(FrontierEdge{e, e.u == x ? x_slot : ws,
+                                        e.u == x ? ws : x_slot});
+      }
     }
   };
-  push_incident(u);
-  push_incident(v);
+  push_incident(u_slot);
+  push_incident(v_slot);
 
-  while (!frontier.empty() && current.edges.size() < max_edges) {
-    const Edge e = frontier.front();
-    frontier.pop_front();
+  while (frontier_head < frontier.size() &&
+         current.edges.size() < max_edges) {
+    const FrontierEdge fe = frontier[frontier_head++];
+    const Edge e = fe.e;
     const bool has_u = ContainsVertex(current.vertices, e.u);
     const bool has_v = ContainsVertex(current.vertices, e.v);
     if (!has_u && !has_v) continue;  // became stale; skip
     // A new endpoint outside the alphabet cannot be part of any motif:
     // discard the edge (permanently, like any rejected growth).
-    if ((!has_u && !InAlphabet(LabelIn(e.u))) ||
-        (!has_v && !InAlphabet(LabelIn(e.v)))) {
+    if ((!has_u && !InAlphabet(label_by_slot_[fe.us])) ||
+        (!has_v && !InAlphabet(label_by_slot_[fe.vs]))) {
       continue;
     }
 
     Tracked candidate = current;
-    candidate.edges.push_back(e);
-    std::sort(candidate.edges.begin(), candidate.edges.end(),
-              [](const Edge& a, const Edge& b) {
-                return EdgeBits(a) < EdgeBits(b);
-              });
+    InsertEdgeSorted(&candidate.edges, e);
+    const auto add_vertex = [&candidate](VertexId x, uint32_t xs) {
+      const VertexId* pos = std::lower_bound(candidate.vertices.begin(),
+                                             candidate.vertices.end(), x);
+      const size_t i = static_cast<size_t>(pos - candidate.vertices.begin());
+      candidate.vertices.insert(pos, x);
+      candidate.slots.insert(candidate.slots.begin() + i, xs);
+    };
     if (!has_u) {
-      candidate.vertices.push_back(e.u);
-      scheme.MultiplyVertex(&candidate.signature, LabelIn(e.u));
+      add_vertex(e.u, fe.us);
+      scheme.MultiplyVertex(&candidate.signature, label_by_slot_[fe.us]);
     }
     if (!has_v) {
-      candidate.vertices.push_back(e.v);
-      scheme.MultiplyVertex(&candidate.signature, LabelIn(e.v));
+      add_vertex(e.v, fe.vs);
+      scheme.MultiplyVertex(&candidate.signature, label_by_slot_[fe.vs]);
     }
-    std::sort(candidate.vertices.begin(), candidate.vertices.end());
-    scheme.MultiplyEdge(&candidate.signature, LabelIn(e.u), LabelIn(e.v));
+    scheme.MultiplyEdge(&candidate.signature, label_by_slot_[fe.us],
+                        label_by_slot_[fe.vs]);
 
     if (!ResolveNode(&candidate)) continue;  // discard this edge permanently
     current = std::move(candidate);
-    if (!has_u) push_incident(e.u);
-    if (!has_v) push_incident(e.v);
+    if (!has_u) push_incident(fe.us);
+    if (!has_v) push_incident(fe.vs);
   }
 
   ++stats_.regrow_matches;
@@ -295,63 +375,73 @@ void StreamMatcher::ReGrow(VertexId u, VertexId v) {
 }
 
 void StreamMatcher::RemoveVertex(VertexId v) {
-  const auto idx = by_vertex_.find(v);
-  if (idx != by_vertex_.end()) {
-    for (const uint64_t key : idx->second) {
-      // Unlink from the other member vertices' indices lazily: just erase the
-      // tracked entry; stale keys in by_vertex_ are skipped on lookup.
-      tracked_.erase(key);
-    }
-    by_vertex_.erase(idx);
+  const int32_t s = SlotOf(v);
+  if (s < 0) return;
+  const uint32_t slot = static_cast<uint32_t>(s);
+  for (const uint64_t key : keys_by_slot_[slot]) {
+    // Unlink from the other member vertices' indices lazily: just erase the
+    // tracked entry; stale keys are skipped on lookup.
+    tracked_.erase(key);
   }
-  // Remove v from the window view. The neighbour list is copied out first:
-  // FlatMap's backward-shift erase relocates slots, so `adj->second` would
-  // dangle across the erase (unordered_map kept references stable here).
-  const auto adj = adjacency_.find(v);
-  if (adj != adjacency_.end()) {
-    const SmallVector<VertexId, 8> neighbors = adj->second;
-    adjacency_.erase(adj);
-    for (const VertexId w : neighbors) {
-      const auto wit = adjacency_.find(w);
-      if (wit == adjacency_.end()) continue;
-      auto& back = wit->second;
-      back.erase(std::remove(back.begin(), back.end(), v), back.end());
-    }
+  keys_by_slot_[slot].clear();
+  // Remove the slot from its neighbours' adjacency. Slot-keyed arrays are
+  // stable, so no copies are needed across the updates.
+  for (const uint32_t ws : adj_by_slot_[slot]) {
+    auto& back = adj_by_slot_[ws];
+    back.erase(std::remove(back.begin(), back.end(), slot), back.end());
   }
-  labels_.erase(v);
+  adj_by_slot_[slot].clear();
+  slot_of_[v] = -1;
+  free_slots_.push_back(slot);
+}
+
+bool StreamMatcher::HasFrequentMatch(VertexId v) const {
+  const int32_t s = SlotOf(v);
+  if (s < 0) return false;
+  for (const uint64_t key : keys_by_slot_[s]) {
+    const auto t = tracked_.find(key);
+    if (t != tracked_.end() && t->second.frequent) return true;
+  }
+  return false;
 }
 
 std::vector<VertexId> StreamMatcher::MatchClosureFor(VertexId v,
                                                      bool transitive) const {
-  const auto idx = by_vertex_.find(v);
-  if (idx == by_vertex_.end()) return {};
+  const int32_t s = SlotOf(v);
+  if (s < 0 || keys_by_slot_[s].empty()) return {};
 
-  std::unordered_set<VertexId> closure;
-  std::unordered_set<uint64_t> seen_keys;
-  std::deque<VertexId> queue;
+  // Reset scratch from the previous walk (bounded by its closure size).
+  for (const uint32_t cs : closure_slots_) in_closure_[cs] = 0;
+  closure_slots_.clear();
+  seen_keys_.clear();
 
-  auto absorb_matches_of = [&](VertexId x) {
-    const auto it = by_vertex_.find(x);
-    if (it == by_vertex_.end()) return;
-    for (const uint64_t key : it->second) {
-      if (!seen_keys.insert(key).second) continue;
+  // `closure_slots_` doubles as the BFS queue: every absorbed slot is
+  // visited exactly once, in absorption order.
+  auto absorb_matches_of = [&](uint32_t x_slot) {
+    for (const uint64_t key : keys_by_slot_[x_slot]) {
+      if (!ConsiderOnce(&seen_keys_, key)) continue;
       const auto t = tracked_.find(key);
       if (t == tracked_.end() || !t->second.frequent) continue;
-      for (const VertexId member : t->second.vertices) {
-        if (closure.insert(member).second) queue.push_back(member);
+      for (const uint32_t member : t->second.slots) {
+        if (!in_closure_[member]) {
+          in_closure_[member] = 1;
+          closure_slots_.push_back(member);
+        }
       }
     }
   };
 
-  absorb_matches_of(v);
-  while (transitive && !queue.empty()) {
-    const VertexId x = queue.front();
-    queue.pop_front();
-    absorb_matches_of(x);
+  absorb_matches_of(static_cast<uint32_t>(s));
+  size_t head = 0;
+  while (transitive && head < closure_slots_.size()) {
+    absorb_matches_of(closure_slots_[head++]);
   }
 
-  closure.erase(v);
-  std::vector<VertexId> out(closure.begin(), closure.end());
+  std::vector<VertexId> out;
+  out.reserve(closure_slots_.size());
+  for (const uint32_t cs : closure_slots_) {
+    if (cs != static_cast<uint32_t>(s)) out.push_back(id_by_slot_[cs]);
+  }
   std::sort(out.begin(), out.end());
   return out;
 }

@@ -21,6 +21,13 @@
 /// Signature matching is non-authoritative (collisions possible); the
 /// `verify_exact` option additionally checks the exact canonical form, which
 /// is what tests use as ground truth.
+///
+/// Buffered vertices occupy matcher-internal *slots* (a free-list arena, at
+/// most one per window member), and every per-vertex table — label,
+/// adjacency, tracked-sub-graph index — is a flat array keyed by slot. The
+/// only id-keyed structure is the direct-mapped id→slot index, so the
+/// per-arrival bookkeeping does no hashing at all; hash lookups remain only
+/// for the tracked-sub-graph key table.
 
 #include <cstdint>
 #include <string>
@@ -28,6 +35,7 @@
 
 #include "common/flat_map.h"
 #include "common/small_vector.h"
+#include "common/span.h"
 #include "graph/graph.h"
 #include "tpstry/tpstry_pp.h"
 
@@ -83,6 +91,10 @@ class StreamMatcher {
   std::vector<VertexId> MatchClosureFor(VertexId v,
                                         bool transitive = true) const;
 
+  /// True iff some live *frequent* match contains `v` — the cheap gate the
+  /// eviction path checks before materializing a closure.
+  bool HasFrequentMatch(VertexId v) const;
+
   /// Number of live tracked sub-graphs (any node, frequent or not).
   size_t NumTracked() const { return tracked_.size(); }
 
@@ -96,11 +108,20 @@ class StreamMatcher {
 
  private:
   struct Tracked {
-    SmallVector<Edge, 8> edges;       // normalized, sorted
+    SmallVector<Edge, 8> edges;         // normalized, sorted by encoding
     SmallVector<VertexId, 8> vertices;  // sorted
+    SmallVector<uint32_t, 8> slots;     // parallel to `vertices`
     GraphSignature signature;
     TpstryNodeId node = kInvalidTpstryNode;
     bool frequent = false;
+  };
+
+  /// A window edge queued by the re-grow frontier, with both endpoint slots
+  /// so label lookups stay O(1) array reads.
+  struct FrontierEdge {
+    Edge e;       // normalized
+    uint32_t us;  // slot of e.u
+    uint32_t vs;  // slot of e.v
   };
 
   /// Stable key of an edge set (normalized + sorted edges hashed).
@@ -114,11 +135,19 @@ class StreamMatcher {
   /// scheme (an assert in Debug, an edge-factor collision under NDEBUG).
   bool InAlphabet(Label label) const;
 
-  /// Processes one in-window edge arrival.
-  void ProcessEdge(VertexId u, VertexId v);
+  /// Slot of a buffered vertex, or -1.
+  int32_t SlotOf(VertexId v) const {
+    return v < slot_of_.size() ? slot_of_[v] : -1;
+  }
+
+  /// Allocates (or reuses) the slot for an arriving vertex.
+  uint32_t AllocSlot(VertexId v);
+
+  /// Processes one in-window edge arrival (endpoints given by slot).
+  void ProcessEdge(uint32_t u_slot, uint32_t v_slot);
 
   /// Attempts S' = S + {u,v}; returns true if the growth was accepted.
-  bool TryGrow(const Tracked& base, VertexId u, VertexId v);
+  bool TryGrow(const Tracked& base, uint32_t u_slot, uint32_t v_slot);
 
   /// Builds a Tracked for the given edge set; returns false when its
   /// signature is not a TPSTry++ node (or verification fails).
@@ -127,8 +156,8 @@ class StreamMatcher {
   /// Inserts a tracked sub-graph (deduplicated); returns true if inserted.
   bool Insert(Tracked t);
 
-  /// The §4.3 re-grow procedure from edge {u, v}.
-  void ReGrow(VertexId u, VertexId v);
+  /// The §4.3 re-grow procedure from edge {u, v} (endpoints given by slot).
+  void ReGrow(uint32_t u_slot, uint32_t v_slot);
 
   /// Exact canonical form of the tracked sub-graph (verify_exact mode).
   std::string CanonicalOf(const Tracked& t) const;
@@ -139,13 +168,27 @@ class StreamMatcher {
   std::vector<bool> useful_;    // by node id: frequent node reachable
   StreamMatcherStats stats_;
 
-  /// In-window view: labels and adjacency restricted to buffered vertices.
-  FlatMap<VertexId, Label> labels_;
-  FlatMap<VertexId, SmallVector<VertexId, 8>> adjacency_;
+  /// Direct-mapped id→slot index (-1 = not buffered); ids are dense, the
+  /// same contract the window and PartitionAssignment rely on.
+  std::vector<int32_t> slot_of_;
+  std::vector<uint32_t> free_slots_;
+
+  /// In-window view by slot: labels, ids and adjacency (as neighbour slots)
+  /// restricted to buffered vertices.
+  std::vector<Label> label_by_slot_;
+  std::vector<VertexId> id_by_slot_;
+  std::vector<SmallVector<uint32_t, 8>> adj_by_slot_;
+  /// slot -> keys of tracked sub-graphs containing it (lazy deletion).
+  std::vector<SmallVector<uint64_t, 4>> keys_by_slot_;
 
   FlatMap<uint64_t, Tracked> tracked_;
-  /// vertex -> keys of tracked sub-graphs containing it.
-  FlatMap<VertexId, SmallVector<uint64_t, 4>> by_vertex_;
+
+  /// Closure-walk scratch, reused across calls so the eviction path never
+  /// allocates: slots absorbed so far (doubling as the BFS queue), a
+  /// membership byte per slot, and the match keys already expanded.
+  mutable SmallVector<uint32_t, 64> closure_slots_;
+  mutable std::vector<uint8_t> in_closure_;
+  mutable SmallVector<uint64_t, 64> seen_keys_;
 };
 
 }  // namespace loom

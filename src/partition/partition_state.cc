@@ -16,20 +16,6 @@ void PartitionAssignment::SetCapacities(std::vector<size_t> capacities) {
   per_part_capacity_ = std::move(capacities);
 }
 
-size_t PartitionAssignment::CapacityOf(uint32_t part) const {
-  if (!per_part_capacity_.empty() && part < k_) {
-    return per_part_capacity_[part];
-  }
-  return capacity_;
-}
-
-bool PartitionAssignment::AtCapacity(uint32_t part) const {
-  if (!per_part_capacity_.empty()) {
-    return sizes_[part] >= per_part_capacity_[part];
-  }
-  return capacity_ != 0 && sizes_[part] >= capacity_;
-}
-
 Status PartitionAssignment::Assign(VertexId v, uint32_t part) {
   if (part >= k_) return Status::InvalidArgument("partition index out of range");
   if (PartOf(v) >= 0) {
@@ -53,20 +39,6 @@ Status PartitionAssignment::ForceAssign(VertexId v, uint32_t part) {
   ++sizes_[part];
   ++num_assigned_;
   return Status::OK();
-}
-
-int32_t PartitionAssignment::PartOf(VertexId v) const {
-  if (v >= part_of_.size()) return -1;
-  return part_of_[v];
-}
-
-size_t PartitionAssignment::FreeCapacity(uint32_t part) const {
-  if (per_part_capacity_.empty() && capacity_ == 0) {
-    return std::numeric_limits<size_t>::max();
-  }
-  if (part >= k_) return 0;
-  const size_t cap = CapacityOf(part);
-  return sizes_[part] >= cap ? 0 : cap - sizes_[part];
 }
 
 uint32_t PartitionAssignment::SmallestPartition() const {

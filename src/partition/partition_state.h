@@ -34,7 +34,9 @@ class PartitionAssignment {
   Status ForceAssign(VertexId v, uint32_t part);
 
   /// Partition of `v`, or -1 while unassigned (or unknown id).
-  int32_t PartOf(VertexId v) const;
+  int32_t PartOf(VertexId v) const {
+    return v < part_of_.size() ? part_of_[v] : -1;
+  }
 
   bool IsAssigned(VertexId v) const { return PartOf(v) >= 0; }
 
@@ -53,13 +55,25 @@ class PartitionAssignment {
 
   /// Capacity bound of `part`: the per-partition override when installed,
   /// else the scalar capacity (0 = unconstrained in scalar mode only).
-  size_t CapacityOf(uint32_t part) const;
+  size_t CapacityOf(uint32_t part) const {
+    if (!per_part_capacity_.empty() && part < k_) {
+      return per_part_capacity_[part];
+    }
+    return capacity_;
+  }
 
   /// Vertex count per partition.
   const std::vector<uint32_t>& Sizes() const { return sizes_; }
 
   /// Remaining capacity of `part` (SIZE_MAX when unconstrained).
-  size_t FreeCapacity(uint32_t part) const;
+  size_t FreeCapacity(uint32_t part) const {
+    if (per_part_capacity_.empty() && capacity_ == 0) {
+      return ~static_cast<size_t>(0);
+    }
+    if (part >= k_) return 0;
+    const size_t cap = CapacityOf(part);
+    return sizes_[part] >= cap ? 0 : cap - sizes_[part];
+  }
 
   /// Total vertices assigned so far.
   size_t NumAssigned() const { return num_assigned_; }
@@ -81,7 +95,12 @@ class PartitionAssignment {
 
  private:
   /// True when `part` cannot take another vertex under the active bound.
-  bool AtCapacity(uint32_t part) const;
+  bool AtCapacity(uint32_t part) const {
+    if (!per_part_capacity_.empty()) {
+      return sizes_[part] >= per_part_capacity_[part];
+    }
+    return capacity_ != 0 && sizes_[part] >= capacity_;
+  }
 
   uint32_t k_;
   size_t capacity_;

@@ -196,4 +196,41 @@ uint32_t PickLdgPartitionWeighted(
   return best;
 }
 
+uint32_t PickLdgPartitionWeightedSparse(
+    const PartitionAssignment& assignment,
+    const std::vector<double>& weight_to_partition,
+    Span<const uint32_t> touched, size_t need) {
+  const uint32_t k = assignment.k();
+  const double capacity =
+      assignment.capacity() == 0
+          ? static_cast<double>(assignment.NumAssigned() + need) * 2.0
+          : static_cast<double>(assignment.capacity());
+
+  // `touched` arrives in first-touch order, not index order, so the dense
+  // scan's implicit lowest-index tie preference must be spelled out.
+  uint32_t best = k;
+  double best_score = -1.0;
+  for (const uint32_t p : touched) {
+    if (assignment.FreeCapacity(p) < need) continue;
+    const double penalty =
+        1.0 - static_cast<double>(assignment.Sizes()[p]) / capacity;
+    const double score = weight_to_partition[p] * penalty;
+    const bool better =
+        best == k || score > best_score ||
+        (score == best_score &&
+         (assignment.Sizes()[p] < assignment.Sizes()[best] ||
+          (assignment.Sizes()[p] == assignment.Sizes()[best] && p < best)));
+    if (better) {
+      best = p;
+      best_score = score;
+    }
+  }
+  // A strictly positive winner beats every untouched partition (their weight
+  // is zero, so their score is zero at best). Anything else — no eligible
+  // touched partition, or an all-zero-score round where the least-loaded
+  // eligible partition should win — needs the dense rule.
+  if (best < k && best_score > 0.0) return best;
+  return PickLdgPartitionWeighted(assignment, weight_to_partition, need);
+}
+
 }  // namespace loom

@@ -19,6 +19,9 @@
 
 namespace loom {
 
+class ClusterLog;
+class ClusterMemo;
+
 /// Configuration shared by all streaming partitioners.
 struct PartitionerOptions {
   /// Number of partitions k.
@@ -222,6 +225,27 @@ class StreamingPartitioner {
   /// drivers whose prior storage goes out of scope after the run).
   void ClearPrior() { prior_ = nullptr; }
 
+  /// Cluster-memoization hooks (see stream/cluster_log.h). A partitioner
+  /// whose unit of assignment is larger than a vertex (LOOM) can record the
+  /// cluster decomposition it actually assigned and replay it next pass.
+  /// The base implementations record nothing and ignore the memo, so every
+  /// other partitioner is unaffected.
+  ///
+  /// Turns on (or off) recording of the assigned-unit decomposition for
+  /// subsequent passes. Off by default: single-pass use pays nothing.
+  virtual void SetClusterLogging(bool enabled) { (void)enabled; }
+  /// Decomposition of the last recorded pass, or null when the partitioner
+  /// does not record one (or logging is off).
+  virtual const ClusterLog* cluster_log() const { return nullptr; }
+  /// Moves the recorded decomposition into `*out` (leaving the live log
+  /// empty), so multi-pass drivers can keep the previous pass's log without
+  /// an O(V) copy. No-op (and `*out` untouched) when there is no log.
+  virtual void TakeClusterLog(ClusterLog* out) { (void)out; }
+  /// Installs the previous pass's decomposition for memoized replay of the
+  /// pass that just began (call after BeginPass; BeginPass drops any
+  /// installed memo). `memo` must outlive the pass; null disables replay.
+  virtual void SetClusterMemo(const ClusterMemo* memo) { (void)memo; }
+
  protected:
   /// Partition of `w` as seen by placement scores: this pass's placement
   /// when present, else the prior pass's, else -1.
@@ -262,6 +286,17 @@ uint32_t PickLdgPartition(const PartitionAssignment& assignment,
 uint32_t PickLdgPartitionWeighted(const PartitionAssignment& assignment,
                                   const std::vector<double>& weight_to_partition,
                                   size_t need = 1);
+
+/// Sparse fast path of PickLdgPartitionWeighted for callers that know which
+/// partitions hold non-zero weight (`touched`, e.g. from
+/// BlockedGainScorer::touched()). When a touched, eligible partition wins
+/// with a strictly positive score, no zero-weight partition can beat it and
+/// the O(k) scan is skipped; otherwise the decision falls back to the dense
+/// rule, so the result is always identical to the dense pick.
+uint32_t PickLdgPartitionWeightedSparse(
+    const PartitionAssignment& assignment,
+    const std::vector<double>& weight_to_partition,
+    Span<const uint32_t> touched, size_t need = 1);
 
 }  // namespace loom
 

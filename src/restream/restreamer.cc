@@ -12,6 +12,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "restream/shard_plan.h"
+#include "stream/cluster_log.h"
 
 namespace loom {
 
@@ -537,13 +538,39 @@ RestreamResult Restreamer::Run(StreamingPartitioner* partitioner) const {
   double best_cut = std::numeric_limits<double>::infinity();
 
   const uint32_t passes = std::max<uint32_t>(1, options_.num_passes);
+  // Cluster memoization: ask the partitioner to log its unit decomposition;
+  // partitioners without the hook return no log and the whole feature
+  // degrades to a no-op. Logging stays off for single-pass runs — the hot
+  // path pays nothing.
+  const bool want_memo = options_.memoize_clusters && passes > 1;
+  if (want_memo) partitioner->SetClusterLogging(true);
+  const bool memoize = want_memo && partitioner->cluster_log() != nullptr;
+  // The previous pass's log (copied out before BeginPass resets the live
+  // one) and the memo over it; both must outlive the pass that replays them.
+  ClusterLog prev_log;
+  ClusterMemo memo;
+
   for (uint32_t pass = 1; pass <= passes; ++pass) {
     std::vector<VertexId> perm;
     if (pass == 1) {
       partitioner->BeginPass(nullptr);
     } else {
       perm = PassOrder(options_.order, prior, rng, nullptr, nullptr);
+      if (memoize) {
+        partitioner->TakeClusterLog(&prev_log);
+        // The final pass's log has no consumer — skip recording it, which
+        // keeps the peak at one retained log plus one being recorded.
+        partitioner->SetClusterLogging(pass < passes);
+      }
       partitioner->BeginPass(&prior);
+      if (memoize && prev_log.NumUnits() > 0) {
+        memo = ClusterMemo(&prev_log);
+        // Hoist each recalled unit's members to its first member's stream
+        // position, so the unit arrives contiguously and can be scored as
+        // one buffered group.
+        perm = GroupPermByUnits(perm, memo);
+        partitioner->SetClusterMemo(&memo);
+      }
       partitioner->SetMigrationBudget(
           MigrationBudgetMoves(prior, options_.max_migration_fraction));
     }
@@ -588,8 +615,11 @@ RestreamResult Restreamer::Run(StreamingPartitioner* partitioner) const {
 
     prior = options_.keep_best ? best : partitioner->assignment();
   }
-  // `prior` dies with this call; the partitioner must not keep pointing
-  // at it.
+  // `prior`, `prev_log` and `memo` die with this call; the partitioner must
+  // not keep pointing at any of them, and logging is switched back off so
+  // later single-pass uses pay nothing.
+  partitioner->SetClusterMemo(nullptr);
+  if (want_memo) partitioner->SetClusterLogging(false);
   partitioner->ClearPrior();
 
   if (options_.keep_best) {

@@ -1,0 +1,81 @@
+#include "stream/cluster_log.h"
+
+#include <algorithm>
+
+namespace loom {
+
+namespace {
+
+/// SplitMix64 finalizer: the standard 64-bit avalanche mix.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void ClusterLog::Reset(bool fingerprints_complete) {
+  fingerprints_complete_ = fingerprints_complete;
+  id_bound_ = 0;
+  members_.clear();
+  fingerprints_.clear();
+  unit_offsets_.assign(1, 0);
+}
+
+void ClusterLog::AddMember(VertexId v, uint64_t fingerprint) {
+  members_.push_back(v);
+  if (fingerprints_complete_) fingerprints_.push_back(fingerprint);
+  id_bound_ = std::max(id_bound_, v + 1);
+}
+
+void ClusterLog::CommitUnit() {
+  // Empty units are dropped (nothing between this boundary and the last).
+  if (members_.size() == unit_offsets_.back()) return;
+  unit_offsets_.push_back(static_cast<uint32_t>(members_.size()));
+}
+
+uint64_t ClusterLog::Fingerprint(Label label, Span<const VertexId> neighbors) {
+  // Commutative accumulation over neighbours, then one avalanche over the
+  // (label, degree, neighbour-sum) triple. OR 1 keeps 0 reserved.
+  uint64_t sum = 0;
+  for (const VertexId w : neighbors) {
+    sum += Mix64(static_cast<uint64_t>(w) + 0x517cc1b727220a95ull);
+  }
+  const uint64_t h =
+      Mix64((static_cast<uint64_t>(label) << 32) ^ neighbors.size()) ^
+      Mix64(sum);
+  return h | 1;
+}
+
+ClusterMemo::ClusterMemo(const ClusterLog* log) : log_(log) {
+  unit_of_.assign(log->IdBound(), -1);
+  for (uint32_t u = 0; u < log->NumUnits(); ++u) {
+    for (const VertexId v : log->MembersOf(u)) {
+      unit_of_[v] = static_cast<int32_t>(u);
+    }
+  }
+}
+
+std::vector<VertexId> GroupPermByUnits(const std::vector<VertexId>& perm,
+                                       const ClusterMemo& memo) {
+  std::vector<VertexId> grouped;
+  grouped.reserve(perm.size());
+  std::vector<uint8_t> unit_emitted(memo.log().NumUnits(), 0);
+  for (const VertexId v : perm) {
+    const int32_t u = memo.UnitOf(v);
+    if (u < 0) {
+      grouped.push_back(v);
+      continue;
+    }
+    if (unit_emitted[u]) continue;
+    unit_emitted[u] = 1;
+    for (const VertexId m : memo.log().MembersOf(static_cast<uint32_t>(u))) {
+      grouped.push_back(m);
+    }
+  }
+  return grouped;
+}
+
+}  // namespace loom

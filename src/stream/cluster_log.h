@@ -1,0 +1,127 @@
+#ifndef LOOM_STREAM_CLUSTER_LOG_H_
+#define LOOM_STREAM_CLUSTER_LOG_H_
+
+/// \file
+/// Cluster memoization for restream passes.
+///
+/// A LOOM pass assigns the stream as a sequence of *units*: single vertices
+/// and motif-match clusters (pre-split — the capacity-driven split is a
+/// placement decision, not part of the decomposition). The ClusterLog is the
+/// record of that decomposition, in assignment order; a ClusterMemo indexes
+/// a log so the next pass can recall each vertex's unit in O(1).
+///
+/// A memoized restream pass replays the previous pass's units as pre-grouped
+/// arrival blocks and scores each recalled unit directly through the
+/// prior-aware blocked kernel — the window/matcher pipeline is skipped
+/// entirely for vertices whose cluster membership is unchanged. Correctness
+/// gate: a unit is invalidated (and its members fall back to the full
+/// pipeline) when any member's label or neighbourhood differs from the
+/// recorded pass, detected by a per-member fingerprint.
+///
+/// Fingerprints are only complete when the recording pass saw full
+/// neighbourhoods (restream passes, which carry the whole adjacency per
+/// arrival); a pass-one log records back-edge-only views, so its
+/// fingerprints are omitted and a memo built from it skips validation —
+/// safe exactly when the same stream is replayed (the multi-pass
+/// Restreamer::Run case), which is also the case the golden-hash
+/// equivalence tests pin down.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/span.h"
+#include "graph/graph.h"
+
+namespace loom {
+
+/// Append-only record of the units one pass assigned, in assignment order.
+class ClusterLog {
+ public:
+  /// Drops all units and starts a new recording.
+  /// \param fingerprints_complete true when the pass being recorded sees
+  ///   full neighbourhoods per arrival (passes with a prior).
+  void Reset(bool fingerprints_complete);
+
+  /// Appends a member to the unit currently being recorded.
+  /// \param fingerprint member fingerprint (see Fingerprint); ignored when
+  ///   the log was Reset without complete fingerprints.
+  void AddMember(VertexId v, uint64_t fingerprint);
+  /// Seals the current unit (all members since the previous CommitUnit);
+  /// a commit with no new members is a no-op.
+  void CommitUnit();
+
+  size_t NumUnits() const { return unit_offsets_.size() - 1; }
+  size_t NumMembers() const { return members_.size(); }
+
+  /// Members of `unit` in the order the pass scored them (first member =
+  /// the evicted vertex for clusters).
+  Span<const VertexId> MembersOf(uint32_t unit) const {
+    return Span<const VertexId>(members_.data() + unit_offsets_[unit],
+                                unit_offsets_[unit + 1] - unit_offsets_[unit]);
+  }
+
+  /// Per-member fingerprints parallel to MembersOf; empty when the log was
+  /// recorded without complete fingerprints.
+  Span<const uint64_t> FingerprintsOf(uint32_t unit) const {
+    if (!fingerprints_complete_) return Span<const uint64_t>();
+    return Span<const uint64_t>(
+        fingerprints_.data() + unit_offsets_[unit],
+        unit_offsets_[unit + 1] - unit_offsets_[unit]);
+  }
+
+  bool fingerprints_complete() const { return fingerprints_complete_; }
+
+  /// One past the largest member id (bound for memo index sizing).
+  VertexId IdBound() const { return id_bound_; }
+
+  /// Order-independent hash of a vertex's scoring-relevant state: its label
+  /// and its neighbour multiset (plus the degree). Never 0, so 0 can mean
+  /// "no fingerprint". Commutative over neighbours: the recording pass sees
+  /// window adjacency order, the validating pass sees arrival order.
+  static uint64_t Fingerprint(Label label, Span<const VertexId> neighbors);
+
+ private:
+  bool fingerprints_complete_ = false;
+  VertexId id_bound_ = 0;
+  std::vector<VertexId> members_;
+  /// Parallel to members_; only populated when fingerprints_complete_.
+  std::vector<uint64_t> fingerprints_;
+  /// CSR-style unit boundaries: unit u = members_[offsets[u], offsets[u+1]).
+  std::vector<uint32_t> unit_offsets_{0};
+};
+
+/// O(1) vertex -> unit recall over a borrowed ClusterLog (which must outlive
+/// the memo and any partitioner it is installed into).
+class ClusterMemo {
+ public:
+  ClusterMemo() = default;
+  explicit ClusterMemo(const ClusterLog* log);
+
+  /// Unit the recorded pass assigned `v` in, or -1 when unrecorded.
+  int32_t UnitOf(VertexId v) const {
+    return v < unit_of_.size() ? unit_of_[v] : -1;
+  }
+
+  const ClusterLog& log() const { return *log_; }
+
+  /// True when recalled units must be fingerprint-validated member by
+  /// member (the log carries complete fingerprints).
+  bool validate() const { return log_->fingerprints_complete(); }
+
+ private:
+  const ClusterLog* log_ = nullptr;
+  std::vector<int32_t> unit_of_;
+};
+
+/// Reorders `perm` so every memoized unit's members arrive consecutively, in
+/// recorded unit order, hoisted to the position of the unit's first member
+/// in `perm`. Vertices outside any unit keep their relative order. This is
+/// the arrival order a memoized pass needs: a unit can be scored and
+/// assigned the moment its last member arrives, with at most one unit
+/// buffered at any time.
+std::vector<VertexId> GroupPermByUnits(const std::vector<VertexId>& perm,
+                                       const ClusterMemo& memo);
+
+}  // namespace loom
+
+#endif  // LOOM_STREAM_CLUSTER_LOG_H_

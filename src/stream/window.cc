@@ -6,21 +6,32 @@ namespace loom {
 
 StreamWindow::StreamWindow(size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {
-  // Fixed arena: at most `capacity_` members are ever buffered, and the
-  // index is sized once so steady-state churn never rehashes.
+  // Fixed arena: at most `capacity_` members are ever buffered.
   arena_.resize(capacity_);
   free_slots_.reserve(capacity_);
   for (size_t i = 0; i < capacity_; ++i) {
     free_slots_.push_back(static_cast<uint32_t>(capacity_ - 1 - i));
   }
-  index_.reserve(capacity_ + 1);
 }
 
-void StreamWindow::Push(VertexId v, Label label,
-                        Span<const VertexId> back_edges,
-                        bool record_reverse) {
+uint32_t StreamWindow::Push(VertexId v, Label label,
+                            Span<const VertexId> back_edges,
+                            bool record_reverse) {
   assert(!Full() && "Push on a full window; evict first");
   assert(!Contains(v));
+  if (v >= slot_of_.size()) {
+    // Geometric growth: the index is written once per arrival, so resize
+    // cost must amortize like push_back's.
+    size_t grown = slot_of_.empty() ? 1024 : slot_of_.size() * 2;
+    if (grown < static_cast<size_t>(v) + 1) grown = static_cast<size_t>(v) + 1;
+    slot_of_.resize(grown, -1);
+  }
+  if (slot_of_[v] >= 0) {
+    // Misuse guard (NDEBUG): a duplicate push keeps the original member,
+    // like the map this index replaced.
+    age_queue_.push_back(v);
+    return static_cast<uint32_t>(slot_of_[v]);
+  }
   if (free_slots_.empty()) {
     // Misuse guard (NDEBUG): a push past capacity grows the arena instead of
     // corrupting it, matching the old map's unbounded-growth behaviour.
@@ -37,20 +48,18 @@ void StreamWindow::Push(VertexId v, Label label,
   // Back edges into the window are symmetric: tell the buffered neighbour.
   if (record_reverse) {
     for (const VertexId w : back_edges) {
-      const auto it = index_.find(w);
-      if (it != index_.end()) arena_[it->second].neighbors.push_back(v);
+      const int32_t ws = SlotOf(w);
+      if (ws >= 0) arena_[ws].neighbors.push_back(v);
     }
   }
-  if (!index_.emplace(v, slot).second) {
-    // Misuse guard (NDEBUG): a duplicate push keeps the original member,
-    // like the map it replaced — return the staged slot to the free list.
-    free_slots_.push_back(slot);
-  }
+  slot_of_[v] = static_cast<int32_t>(slot);
+  ++size_;
   age_queue_.push_back(v);
+  return slot;
 }
 
 void StreamWindow::CompactFront() {
-  while (!age_queue_.empty() && index_.count(age_queue_.front()) == 0) {
+  while (!age_queue_.empty() && !Contains(age_queue_.front())) {
     age_queue_.pop_front();
   }
 }
@@ -69,12 +78,13 @@ WindowMember StreamWindow::PopOldest() {
   return Remove(v);
 }
 
-WindowMember StreamWindow::Remove(VertexId v) {
-  const auto it = index_.find(v);
-  assert(it != index_.end());
-  const uint32_t slot = it->second;
-  index_.erase(it);
+WindowMember StreamWindow::Remove(VertexId v, uint32_t* slot_out) {
+  assert(Contains(v));
+  const uint32_t slot = static_cast<uint32_t>(slot_of_[v]);
+  slot_of_[v] = -1;
+  --size_;
   free_slots_.push_back(slot);
+  if (slot_out != nullptr) *slot_out = slot;
   // Moving out leaves the slot's member empty; a spilled neighbour list's
   // heap buffer leaves with the member, but typical members stay inline and
   // the arena slot is reused allocation-free.
@@ -82,16 +92,15 @@ WindowMember StreamWindow::Remove(VertexId v) {
 }
 
 const WindowMember& StreamWindow::Get(VertexId v) const {
-  const auto it = index_.find(v);
-  assert(it != index_.end());
-  return arena_[it->second];
+  assert(Contains(v));
+  return arena_[slot_of_[v]];
 }
 
 std::vector<VertexId> StreamWindow::MembersInOrder() const {
   std::vector<VertexId> out;
-  out.reserve(index_.size());
+  out.reserve(size_);
   age_queue_.ForEach([&](VertexId v) {
-    if (index_.count(v) > 0) out.push_back(v);
+    if (Contains(v)) out.push_back(v);
   });
   return out;
 }

@@ -11,7 +11,6 @@
 #include <cstdint>
 #include <vector>
 
-#include "common/flat_map.h"
 #include "common/ring_buffer.h"
 #include "common/small_vector.h"
 #include "common/span.h"
@@ -46,15 +45,30 @@ class StreamWindow {
   /// also appended to buffered neighbours' lists: pass false when arrivals
   /// already carry the complete neighbourhood (restream passes ≥ 2), where
   /// the reverse record would duplicate every window-internal edge.
-  void Push(VertexId v, Label label, Span<const VertexId> back_edges,
-            bool record_reverse = true);
+  /// Returns the arena slot the member occupies (stable until removal).
+  uint32_t Push(VertexId v, Label label, Span<const VertexId> back_edges,
+                bool record_reverse = true);
 
-  bool Full() const { return index_.size() >= capacity_; }
-  bool Empty() const { return index_.empty(); }
-  size_t Size() const { return index_.size(); }
+  bool Full() const { return size_ >= capacity_; }
+  bool Empty() const { return size_ == 0; }
+  size_t Size() const { return size_; }
   size_t Capacity() const { return capacity_; }
 
-  bool Contains(VertexId v) const { return index_.count(v) > 0; }
+  bool Contains(VertexId v) const {
+    return v < slot_of_.size() && slot_of_[v] >= 0;
+  }
+
+  /// Arena slot of a buffered vertex, or -1. Slots are stable while the
+  /// member is buffered, so owners can key side tables by slot instead of
+  /// re-hashing vertex ids.
+  int32_t SlotOf(VertexId v) const {
+    return v < slot_of_.size() ? slot_of_[v] : -1;
+  }
+
+  /// Read access to a member by its (valid) arena slot.
+  const WindowMember& MemberAtSlot(uint32_t slot) const {
+    return arena_[slot];
+  }
 
   /// The buffered vertex with the smallest arrival sequence.
   VertexId Oldest() const;
@@ -63,8 +77,10 @@ class StreamWindow {
   WindowMember PopOldest();
 
   /// Removes and returns an arbitrary member (used when a whole motif match
-  /// is assigned early).
-  WindowMember Remove(VertexId v);
+  /// is assigned early). `slot_out`, when non-null, receives the arena slot
+  /// the member occupied, so owners can retire slot-keyed side state without
+  /// a second lookup.
+  WindowMember Remove(VertexId v, uint32_t* slot_out = nullptr);
 
   /// Read access to a buffered member.
   const WindowMember& Get(VertexId v) const;
@@ -74,15 +90,19 @@ class StreamWindow {
 
  private:
   size_t capacity_;
+  size_t size_ = 0;
   uint64_t next_seq_ = 0;
-  /// Members live in fixed arena slots (index = slot id) so that map churn
-  /// never moves a WindowMember: the hash table holds 4-byte slot ids, and
-  /// backward-shift erase relocates those, not 80-byte members. (A removed
-  /// member is moved out to the caller, so a spilled neighbour list leaves
-  /// with it — typical members stay inline and recycle allocation-free.)
+  /// Members live in fixed arena slots (index = slot id) so that index churn
+  /// never moves a WindowMember. (A removed member is moved out to the
+  /// caller, so a spilled neighbour list leaves with it — typical members
+  /// stay inline and recycle allocation-free.)
   std::vector<WindowMember> arena_;
   std::vector<uint32_t> free_slots_;
-  FlatMap<VertexId, uint32_t> index_;
+  /// Direct-mapped index: slot of vertex id, -1 when not buffered. Vertex
+  /// ids are dense (the same contract PartitionAssignment relies on), so a
+  /// flat array turns every membership probe into one cache line read —
+  /// this is the window's hottest operation by far.
+  std::vector<int32_t> slot_of_;
   /// Arrival order with lazy deletion (entries may refer to removed members).
   RingBuffer<VertexId> age_queue_;
 

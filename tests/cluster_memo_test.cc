@@ -1,0 +1,363 @@
+// Cluster-memoization tests (stream/cluster_log.h + the LoomPartitioner
+// memo path + Restreamer wiring):
+//
+//  * ClusterLog / ClusterMemo / GroupPermByUnits container semantics and the
+//    order-independent fingerprint;
+//  * pass one is bit-identical with logging (and the whole memoize_clusters
+//    feature) on vs off, for both bench graph families — recording must be
+//    a pure observer;
+//  * a memoized multi-pass restream replays every vertex, actually recalls
+//    units, and lands within the documented edge-cut tolerance of the
+//    non-memoized run;
+//  * the invalidation gate: a fully-perturbed replay invalidates every unit
+//    and is then *bit-identical* to the plain pipeline on the same
+//    arrivals, and a single perturbed label invalidates exactly its unit
+//    while everything else stays memoized.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "core/loom.h"
+#include "graph/generators.h"
+#include "metrics/metrics.h"
+#include "restream/restreamer.h"
+#include "stream/cluster_log.h"
+#include "stream/stream.h"
+#include "workload/query_builders.h"
+
+namespace loom {
+namespace {
+
+uint64_t AssignmentHash(const PartitionAssignment& a, size_t n) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (VertexId v = 0; v < n; ++v) {
+    h = HashCombine(h, static_cast<uint64_t>(a.PartOf(v) + 1));
+  }
+  return h;
+}
+
+TEST(ClusterLogTest, RecordsUnitsInOrder) {
+  ClusterLog log;
+  log.Reset(/*fingerprints_complete=*/true);
+  EXPECT_EQ(log.NumUnits(), 0u);
+
+  log.AddMember(5, 11);
+  log.AddMember(3, 22);
+  log.CommitUnit();
+  log.CommitUnit();  // empty commit: no-op
+  log.AddMember(9, 33);
+  log.CommitUnit();
+
+  ASSERT_EQ(log.NumUnits(), 2u);
+  EXPECT_EQ(log.NumMembers(), 3u);
+  ASSERT_EQ(log.MembersOf(0).size(), 2u);
+  EXPECT_EQ(log.MembersOf(0)[0], 5u);
+  EXPECT_EQ(log.MembersOf(0)[1], 3u);
+  ASSERT_EQ(log.FingerprintsOf(0).size(), 2u);
+  EXPECT_EQ(log.FingerprintsOf(0)[1], 22u);
+  ASSERT_EQ(log.MembersOf(1).size(), 1u);
+  EXPECT_EQ(log.MembersOf(1)[0], 9u);
+  EXPECT_EQ(log.IdBound(), 10u);
+
+  // Without complete fingerprints the per-member hashes are not stored.
+  log.Reset(/*fingerprints_complete=*/false);
+  log.AddMember(1, 44);
+  log.CommitUnit();
+  EXPECT_FALSE(log.fingerprints_complete());
+  EXPECT_TRUE(log.FingerprintsOf(0).empty());
+}
+
+TEST(ClusterLogTest, FingerprintIsOrderIndependentAndStateSensitive) {
+  const std::vector<VertexId> abc = {7, 2, 9};
+  const std::vector<VertexId> cab = {9, 7, 2};
+  const std::vector<VertexId> abd = {7, 2, 8};
+  EXPECT_EQ(ClusterLog::Fingerprint(1, abc), ClusterLog::Fingerprint(1, cab));
+  EXPECT_NE(ClusterLog::Fingerprint(1, abc), ClusterLog::Fingerprint(2, abc));
+  EXPECT_NE(ClusterLog::Fingerprint(1, abc), ClusterLog::Fingerprint(1, abd));
+  // Never 0 — 0 is the "no fingerprint" sentinel.
+  EXPECT_NE(ClusterLog::Fingerprint(0, {}), 0u);
+}
+
+TEST(ClusterMemoTest, UnitOfAndGroupPermHoistUnitsContiguously) {
+  ClusterLog log;
+  log.Reset(false);
+  log.AddMember(4, 0);
+  log.AddMember(1, 0);
+  log.CommitUnit();  // unit 0: {4, 1}
+  log.AddMember(6, 0);
+  log.CommitUnit();  // unit 1: {6}
+  const ClusterMemo memo(&log);
+
+  EXPECT_EQ(memo.UnitOf(4), 0);
+  EXPECT_EQ(memo.UnitOf(1), 0);
+  EXPECT_EQ(memo.UnitOf(6), 1);
+  EXPECT_EQ(memo.UnitOf(0), -1);
+  EXPECT_EQ(memo.UnitOf(999), -1);
+  EXPECT_FALSE(memo.validate());
+
+  // Unit 0 hoists to 4's position (recorded order 4,1); 6 stays a unit of
+  // one; non-members keep relative order.
+  const std::vector<VertexId> perm = {0, 1, 2, 6, 4, 5};
+  const std::vector<VertexId> grouped = GroupPermByUnits(perm, memo);
+  const std::vector<VertexId> expected = {0, 4, 1, 2, 6, 5};
+  EXPECT_EQ(grouped, expected);
+
+  // Always a permutation of the input.
+  std::vector<VertexId> a = perm, b = grouped;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+// --- End-to-end fixtures: the two bench graph families, motif-planted so
+// the cluster path is exercised. ---
+
+struct MemoFixture {
+  LabeledGraph graph;
+  GraphStream stream;
+  Workload workload;
+  LoomOptions options;
+};
+
+MemoFixture MakeFixture(int family) {
+  MemoFixture f;
+  Rng rng(2026);
+  f.graph = family == 0
+                ? ErdosRenyiGnm(1500, 6000, LabelConfig{3, 0.2}, rng)
+                : BarabasiAlbert(1500, 4, LabelConfig{3, 0.2}, rng);
+  PlantMotifs(&f.graph, TriangleQuery(0, 1, 2), 40, rng,
+              /*locality_span=*/16);
+  f.stream = MakeStream(f.graph, StreamOrder::kRandom, rng);
+
+  EXPECT_TRUE(f.workload.Add("tri", TriangleQuery(0, 1, 2), 1.0).ok());
+  EXPECT_TRUE(f.workload.Add("ab", PathQuery({0, 1}), 1.0).ok());
+  f.workload.Normalize();
+
+  f.options.partitioner.k = 8;
+  f.options.partitioner.num_vertices_hint = f.graph.NumVertices();
+  f.options.partitioner.num_edges_hint = f.graph.NumEdges();
+  f.options.partitioner.window_size = 64;
+  f.options.matcher.frequency_threshold = 0.3;
+  return f;
+}
+
+class MemoEquivalence : public ::testing::TestWithParam<int> {};
+
+// Recording is a pure observer: a single pass with cluster logging on must
+// produce the bit-identical assignment to one with it off.
+TEST_P(MemoEquivalence, PassOneIsBitIdenticalWithLoggingOn) {
+  const MemoFixture f = MakeFixture(GetParam());
+
+  auto plain = Loom::Create(f.workload, f.options);
+  ASSERT_TRUE(plain.ok());
+  (*plain)->Partitioner().Run(f.stream);
+
+  auto logged = Loom::Create(f.workload, f.options);
+  ASSERT_TRUE(logged.ok());
+  (*logged)->Partitioner().SetClusterLogging(true);
+  (*logged)->Partitioner().Run(f.stream);
+
+  EXPECT_EQ(
+      AssignmentHash((*plain)->Partitioner().assignment(),
+                     f.graph.NumVertices()),
+      AssignmentHash((*logged)->Partitioner().assignment(),
+                     f.graph.NumVertices()));
+  // And the log is non-trivial: it recorded every assigned vertex.
+  ASSERT_NE((*logged)->Partitioner().cluster_log(), nullptr);
+  EXPECT_EQ((*logged)->Partitioner().cluster_log()->NumMembers(),
+            f.graph.NumVertices());
+}
+
+// The full memoized restream: pass one bit-identical, later passes within
+// the documented 0.1-cut-point tolerance of the non-memoized run, every
+// vertex assigned, and units actually recalled.
+TEST_P(MemoEquivalence, MemoizedRestreamMatchesNonMemoizedWithinTolerance) {
+  const MemoFixture f = MakeFixture(GetParam());
+
+  RestreamOptions on;
+  on.num_passes = 3;
+  on.order = RestreamOrder::kOriginal;
+  RestreamOptions off = on;
+  off.memoize_clusters = false;
+
+  auto loom_on = Loom::Create(f.workload, f.options);
+  auto loom_off = Loom::Create(f.workload, f.options);
+  ASSERT_TRUE(loom_on.ok());
+  ASSERT_TRUE(loom_off.ok());
+
+  const Restreamer r_on(f.stream, on);
+  const Restreamer r_off(f.stream, off);
+  const RestreamResult res_on = r_on.Run(&(*loom_on)->Partitioner());
+  const RestreamResult res_off = r_off.Run(&(*loom_off)->Partitioner());
+
+  ASSERT_EQ(res_on.passes.size(), 3u);
+  // Pass one never sees a memo: exactly equal.
+  EXPECT_EQ(res_on.passes[0].edge_cut_fraction,
+            res_off.passes[0].edge_cut_fraction);
+  // Memoized replay passes: within 0.1 cut points of the non-memoized run.
+  for (size_t p = 1; p < 3; ++p) {
+    EXPECT_NEAR(res_on.passes[p].edge_cut_fraction,
+                res_off.passes[p].edge_cut_fraction, 0.001)
+        << "pass " << p + 1;
+  }
+  EXPECT_NEAR(res_on.edge_cut_fraction, res_off.edge_cut_fraction, 0.001);
+
+  // Completeness and balance on the memoized result.
+  EXPECT_EQ(res_on.assignment.NumAssigned(), f.graph.NumVertices());
+  EXPECT_TRUE(AllAssigned(f.graph, res_on.assignment));
+
+  // The memo path actually fired: the last pass recalled units covering
+  // most of the stream (the partitioner holds last-pass stats).
+  const LoomStats& stats = (*loom_on)->Partitioner().loom_stats();
+  EXPECT_GT(stats.memo_units, 0u);
+  EXPECT_GT(stats.memo_vertices, f.graph.NumVertices() / 2);
+  // And the non-memoized run never touched the memo path.
+  EXPECT_EQ((*loom_off)->Partitioner().loom_stats().memo_units, 0u);
+}
+
+// Builds the state a memoized pass three starts from: pass one (logged),
+// then a memoized-and-logged pass two, returning the pass-two log (complete
+// fingerprints), the pass-two assignment, and the grouped full-neighbourhood
+// replay arrivals for pass three.
+struct PassThreeSetup {
+  ClusterLog log2;
+  PartitionAssignment prior{1, 0};
+  std::vector<VertexArrival> arrivals;
+};
+
+PassThreeSetup MakePassThreeSetup(const MemoFixture& f) {
+  PassThreeSetup s;
+  auto loom = Loom::Create(f.workload, f.options);
+  EXPECT_TRUE(loom.ok());
+  LoomPartitioner& p = (*loom)->Partitioner();
+
+  const Restreamer restreamer(f.stream, RestreamOptions{});
+  Rng rng(7);
+
+  p.SetClusterLogging(true);
+  p.BeginPass(nullptr);
+  p.Run(f.stream);
+  const ClusterLog log1 = *p.cluster_log();
+  PartitionAssignment prior1 = p.assignment();
+
+  // Pass two: memoized replay of the pass-one units, original order,
+  // logging on — this log carries complete fingerprints.
+  const GraphStream replay =
+      restreamer.ReplayStream(RestreamOrder::kOriginal, prior1, rng);
+  std::vector<VertexId> perm;
+  for (const VertexArrival& a : replay.arrivals()) perm.push_back(a.vertex);
+  const ClusterMemo memo1(&log1);
+  perm = GroupPermByUnits(perm, memo1);
+
+  std::vector<uint32_t> index_of(f.graph.NumVertices());
+  for (uint32_t i = 0; i < replay.arrivals().size(); ++i) {
+    index_of[replay.arrivals()[i].vertex] = i;
+  }
+  std::vector<VertexArrival> grouped;
+  for (const VertexId v : perm) grouped.push_back(replay.arrivals()[index_of[v]]);
+  const GraphStream grouped_stream{std::vector<VertexArrival>(grouped)};
+
+  p.BeginPass(&prior1);
+  p.SetClusterMemo(&memo1);
+  p.Run(grouped_stream);
+  p.ClearPrior();
+
+  EXPECT_TRUE(p.cluster_log()->fingerprints_complete());
+  s.log2 = *p.cluster_log();
+  s.prior = p.assignment();
+  s.arrivals = std::move(grouped);
+  return s;
+}
+
+// Every label perturbed -> every recalled unit fails its fingerprint ->
+// every arrival falls back to the pipeline: the memoized run must then be
+// BIT-IDENTICAL to a plain (never-memoized) run over the same arrivals and
+// prior. This pins the invalidation fallback end-to-end.
+TEST_P(MemoEquivalence, FullyInvalidatedReplayEqualsPipelineBitForBit) {
+  const MemoFixture f = MakeFixture(GetParam());
+  PassThreeSetup s = MakePassThreeSetup(f);
+
+  for (VertexArrival& a : s.arrivals) a.label = (a.label + 1) % 3;
+  const GraphStream perturbed{std::vector<VertexArrival>(s.arrivals)};
+
+  const ClusterMemo memo2(&s.log2);
+  ASSERT_TRUE(memo2.validate());
+
+  auto memoized = Loom::Create(f.workload, f.options);
+  ASSERT_TRUE(memoized.ok());
+  LoomPartitioner& pm = (*memoized)->Partitioner();
+  pm.BeginPass(&s.prior);
+  pm.SetClusterMemo(&memo2);
+  pm.Run(perturbed);
+  pm.ClearPrior();
+
+  auto plain = Loom::Create(f.workload, f.options);
+  ASSERT_TRUE(plain.ok());
+  LoomPartitioner& pp = (*plain)->Partitioner();
+  pp.BeginPass(&s.prior);
+  pp.Run(perturbed);
+  pp.ClearPrior();
+
+  EXPECT_EQ(pm.loom_stats().memo_units, 0u);
+  EXPECT_EQ(pm.loom_stats().memo_invalidated, s.log2.NumUnits());
+  for (VertexId v = 0; v < f.graph.NumVertices(); ++v) {
+    ASSERT_EQ(pm.assignment().PartOf(v), pp.assignment().PartOf(v))
+        << "vertex " << v;
+  }
+}
+
+// One perturbed label invalidates exactly its own unit; everything else
+// stays memoized, the run is deterministic, and no vertex is dropped.
+TEST_P(MemoEquivalence, SinglePerturbationInvalidatesExactlyItsUnit) {
+  const MemoFixture f = MakeFixture(GetParam());
+  PassThreeSetup s = MakePassThreeSetup(f);
+
+  // Perturb one member of a multi-member unit.
+  int32_t target_unit = -1;
+  for (uint32_t u = 0; u < s.log2.NumUnits(); ++u) {
+    if (s.log2.MembersOf(u).size() > 1) {
+      target_unit = static_cast<int32_t>(u);
+      break;
+    }
+  }
+  ASSERT_GE(target_unit, 0) << "no multi-member unit recorded";
+  const VertexId victim = s.log2.MembersOf(target_unit)[0];
+  for (VertexArrival& a : s.arrivals) {
+    if (a.vertex == victim) a.label = (a.label + 1) % 3;
+  }
+  const GraphStream perturbed{std::vector<VertexArrival>(s.arrivals)};
+  const ClusterMemo memo2(&s.log2);
+
+  const auto run_once = [&](LoomPartitioner& p) {
+    p.BeginPass(&s.prior);
+    p.SetClusterMemo(&memo2);
+    p.Run(perturbed);
+    p.ClearPrior();
+  };
+
+  auto a = Loom::Create(f.workload, f.options);
+  auto b = Loom::Create(f.workload, f.options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  run_once((*a)->Partitioner());
+  run_once((*b)->Partitioner());
+
+  const LoomStats& stats = (*a)->Partitioner().loom_stats();
+  EXPECT_EQ(stats.memo_invalidated, 1u);
+  EXPECT_EQ(stats.memo_units, s.log2.NumUnits() - 1);
+  EXPECT_EQ((*a)->Partitioner().assignment().NumAssigned(),
+            f.graph.NumVertices());
+  EXPECT_EQ(AssignmentHash((*a)->Partitioner().assignment(),
+                           f.graph.NumVertices()),
+            AssignmentHash((*b)->Partitioner().assignment(),
+                           f.graph.NumVertices()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, MemoEquivalence, ::testing::Values(0, 1));
+
+}  // namespace
+}  // namespace loom

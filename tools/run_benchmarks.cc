@@ -38,6 +38,7 @@
 #include "perf_report.h"
 #include "restream/restreamer.h"
 #include "serving_scenario.h"
+#include "workload/query_builders.h"
 
 namespace loom {
 namespace bench {
@@ -76,6 +77,112 @@ struct LargeConfig {
 // ceiling immediately.
 constexpr uint64_t kLargeRssBaseBytes = 256ull << 20;
 constexpr uint64_t kLargeRssPerVertexBytes = 80;
+
+// The workload-aware row of the large tier: LOOM through the same
+// out-of-core replay, three original-order passes with cluster memoization
+// on vs off (A/B on the identical file), reporting pass-one throughput,
+// the memoized and non-memoized restream-pass seconds, and the recall
+// counters. Runs under the same O(V) peak-RSS ceiling as the ldg row —
+// the memo structures (log, fingerprints, unit index, grouped permutation)
+// are all O(V) by design.
+bool RunLargeLoomRow(const LargeConfig& cfg, FileArrivalSource& file,
+                     uint64_t rss_ceiling, std::vector<JsonObject>* rows) {
+  Workload workload;
+  Status ws = workload.Add("tri", TriangleQuery(0, 1, 2), 1.0);
+  if (ws.ok()) ws = workload.Add("ab", PathQuery({0, 1}), 1.0);
+  if (!ws.ok()) {
+    std::cerr << "run_benchmarks: large tier workload: " << ws.ToString()
+              << "\n";
+    return false;
+  }
+  workload.Normalize();
+
+  LoomOptions lopts;
+  lopts.partitioner.k = cfg.k;
+  lopts.partitioner.num_vertices_hint = file.NumVertices();
+  lopts.partitioner.num_edges_hint = file.NumEdges();
+  lopts.partitioner.window_size = 256;
+  lopts.matcher.frequency_threshold = 0.2;
+
+  RestreamOptions on;
+  on.num_passes = 3;
+  on.order = RestreamOrder::kOriginal;
+  RestreamOptions off = on;
+  off.memoize_clusters = false;
+
+  const auto restream_seconds = [](const RestreamResult& r) {
+    double s = 0.0;
+    for (size_t p = 1; p < r.passes.size(); ++p) s += r.passes[p].seconds;
+    return s;
+  };
+
+  auto loom_on = Loom::Create(workload, lopts);
+  auto loom_off = Loom::Create(workload, lopts);
+  if (!loom_on.ok() || !loom_off.ok()) {
+    std::cerr << "run_benchmarks: large tier loom creation failed\n";
+    return false;
+  }
+  const Restreamer r_on(&file, on);
+  const RestreamResult res_on = r_on.Run(&(*loom_on)->Partitioner());
+  const Restreamer r_off(&file, off);
+  const RestreamResult res_off = r_off.Run(&(*loom_off)->Partitioner());
+
+  const uint64_t peak = PeakRssBytes();
+  if (peak == 0 || peak > rss_ceiling) {
+    std::cerr << "run_benchmarks: large tier (loom) peak RSS " << peak
+              << " bytes exceeds the O(V) ceiling " << rss_ceiling
+              << " bytes\n";
+    return false;
+  }
+  if (r_on.materializations() != 0 || r_off.materializations() != 0) {
+    std::cerr << "run_benchmarks: large tier (loom) materialised O(E) state "
+                 "(out-of-core replay must not)\n";
+    return false;
+  }
+  for (const RestreamResult* r : {&res_on, &res_off}) {
+    for (const RestreamPassStats& p : r->passes) {
+      if (p.assign_errors != 0) {
+        std::cerr << "run_benchmarks: large tier (loom) assign errors\n";
+        return false;
+      }
+    }
+  }
+  // Last-pass recall counters from the memoized run (the partitioner holds
+  // the final pass's stats).
+  const LoomStats& stats = (*loom_on)->Partitioner().loom_stats();
+  const double sec_on = restream_seconds(res_on);
+  const double sec_off = restream_seconds(res_off);
+
+  JsonObject row;
+  row.Add("tier", std::string(cfg.file.empty() ? "file-backed-ba"
+                                               : "file-backed-input"));
+  row.Add("partitioner", std::string("loom"));
+  row.Add("ordering", RestreamOrderName(on.order));
+  row.Add("num_vertices", file.NumVertices());
+  row.Add("num_edges", file.NumEdges());
+  row.Add("k", static_cast<uint64_t>(cfg.k));
+  row.Add("partition_seconds", res_on.passes.front().seconds);
+  row.Add("vertices_per_second",
+          res_on.passes.front().seconds > 0
+              ? static_cast<double>(file.NumVertices()) /
+                    res_on.passes.front().seconds
+              : 0.0);
+  row.Add("restream_seconds", sec_on);
+  row.Add("restream_seconds_nomemo", sec_off);
+  row.Add("memo_restream_speedup", sec_on > 0 ? sec_off / sec_on : 0.0);
+  row.Add("memo_units", stats.memo_units);
+  row.Add("memo_vertices", stats.memo_vertices);
+  row.Add("memo_invalidated", stats.memo_invalidated);
+  row.Add("edge_cut_fraction_pass1", res_on.passes.front().edge_cut_fraction);
+  row.Add("edge_cut_fraction", res_on.edge_cut_fraction);
+  row.Add("edge_cut_fraction_nomemo", res_off.edge_cut_fraction);
+  row.Add("balance", res_on.passes.back().balance);
+  row.Add("peak_rss_bytes", peak);
+  row.Add("rss_ceiling_bytes", rss_ceiling);
+  row.AddRaw("rss_ok", "true");
+  rows->push_back(std::move(row));
+  return true;
+}
 
 bool RunLargeSection(const LargeConfig& cfg, std::vector<JsonObject>* rows) {
   const bool generated = cfg.file.empty();
@@ -173,7 +280,7 @@ bool RunLargeSection(const LargeConfig& cfg, std::vector<JsonObject>* rows) {
           row.Add("rss_ceiling_bytes", ceiling);
           row.AddRaw("rss_ok", "true");
           rows->push_back(std::move(row));
-          ok = true;
+          ok = RunLargeLoomRow(cfg, file, ceiling, rows);
         }
       }
     }
