@@ -1,0 +1,20 @@
+#include "edge_partition/dbh_partitioner.h"
+
+#include "common/hash.h"
+
+namespace loom {
+
+uint32_t DbhPartitioner::PickPartition(VertexId u, VertexId v) {
+  const double du = EffectiveDegree(u);
+  const double dv = EffectiveDegree(v);
+  // Hash the lower-degree endpoint; ties go to the smaller id so repeated
+  // runs (and the differential oracle) agree bit-for-bit.
+  VertexId target = v;
+  if (du < dv || (du == dv && u < v)) target = u;
+  const uint32_t p = static_cast<uint32_t>(
+      MixBits(static_cast<uint64_t>(target) + options_.seed) % options_.k);
+  if (Eligible(u, v, p)) return p;
+  return FallbackPartition(u, v);
+}
+
+}  // namespace loom

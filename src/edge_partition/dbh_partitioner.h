@@ -1,0 +1,36 @@
+#ifndef LOOM_EDGE_PARTITION_DBH_PARTITIONER_H_
+#define LOOM_EDGE_PARTITION_DBH_PARTITIONER_H_
+
+/// \file
+/// DBH — Degree-Based Hashing (Xie et al., NIPS 2014): assign edge (u, v)
+/// to hash(x) mod k where x is the endpoint with the *smaller* partial
+/// degree. Low-degree vertices keep all their edges on one partition (one
+/// replica), while hub vertices — whose edges are hashed through their
+/// many low-degree neighbours — are cut and replicated across partitions.
+/// A one-table, no-scoring baseline: the replication-factor gap between
+/// DBH and HDRF on power-law graphs is the classic result the bench table
+/// reproduces. The workload-heat hook inflates hot vertices' effective
+/// degree, pushing the hash onto their (colder) neighbours so hot motif
+/// hubs replicate first.
+
+#include <string>
+
+#include "edge_partition/edge_partitioner.h"
+
+namespace loom {
+
+/// Streaming DBH over the back-edge cursor.
+class DbhPartitioner : public EdgePartitioner {
+ public:
+  explicit DbhPartitioner(const EdgePartitionerOptions& options)
+      : EdgePartitioner(options) {}
+
+  std::string Name() const override { return "dbh"; }
+
+ protected:
+  uint32_t PickPartition(VertexId u, VertexId v) override;
+};
+
+}  // namespace loom
+
+#endif  // LOOM_EDGE_PARTITION_DBH_PARTITIONER_H_

@@ -1,0 +1,260 @@
+#include "edge_partition/edge_partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "edge_partition/dbh_partitioner.h"
+#include "edge_partition/hdrf_partitioner.h"
+
+namespace loom {
+
+Status ValidateEdgePartitionerOptions(const EdgePartitionerOptions& options) {
+  if (options.k == 0) {
+    return Status::InvalidArgument("EdgePartitionerOptions.k must be >= 1");
+  }
+  if (std::isnan(options.lambda) || options.lambda < 0.0) {
+    return Status::InvalidArgument(
+        "EdgePartitionerOptions.lambda must be >= 0");
+  }
+  if (std::isnan(options.balance_slack) || options.balance_slack < 1.0) {
+    return Status::InvalidArgument(
+        "EdgePartitionerOptions.balance_slack must be >= 1.0");
+  }
+  if (std::isnan(options.heat_weight) || options.heat_weight < 0.0) {
+    return Status::InvalidArgument(
+        "EdgePartitionerOptions.heat_weight must be >= 0");
+  }
+  if (options.max_partitions_per_vertex == 1 && options.k > 1) {
+    return Status::InvalidArgument(
+        "EdgePartitionerOptions.max_partitions_per_vertex of 1 pins every "
+        "vertex to one partition; use >= 2 (or 0 = unbounded)");
+  }
+  return Status::OK();
+}
+
+EdgePartitionerOptions SanitizeEdgePartitionerOptions(
+    EdgePartitionerOptions options) {
+  if (options.k == 0) options.k = 1;
+  if (std::isnan(options.lambda) || options.lambda < 0.0) {
+    options.lambda = 0.0;
+  }
+  if (std::isnan(options.balance_slack) || options.balance_slack < 1.0) {
+    options.balance_slack = 1.0;
+  }
+  if (std::isnan(options.heat_weight) || options.heat_weight < 0.0) {
+    options.heat_weight = 0.0;
+  }
+  if (options.max_partitions_per_vertex > options.k) {
+    options.max_partitions_per_vertex = options.k;
+  }
+  if (options.max_partitions_per_vertex == 1 && options.k > 1) {
+    options.max_partitions_per_vertex = 2;
+  }
+  return options;
+}
+
+uint64_t ComputeEdgeCapacity(uint32_t k, uint64_t num_edges, double slack) {
+  if (num_edges == 0) return 0;
+  if (k == 0) k = 1;
+  const double per_part =
+      slack * static_cast<double>(num_edges) / static_cast<double>(k);
+  const uint64_t capacity = static_cast<uint64_t>(std::ceil(per_part));
+  return capacity == 0 ? 1 : capacity;
+}
+
+EdgePartitioner::EdgePartitioner(const EdgePartitionerOptions& options)
+    : options_(SanitizeEdgePartitionerOptions(options)),
+      edge_counts_(options_.k, 0),
+      edge_capacity_(ComputeEdgeCapacity(options_.k, options_.num_edges_hint,
+                                         options_.balance_slack)),
+      replica_cap_(options_.max_partitions_per_vertex == 0
+                       ? options_.k
+                       : options_.max_partitions_per_vertex) {
+  if (options_.num_vertices_hint > 0) {
+    degree_.reserve(options_.num_vertices_hint);
+    label_of_.reserve(options_.num_vertices_hint);
+  }
+}
+
+void EdgePartitioner::Run(ArrivalSource& source) {
+  ArrivalView view;
+  while (source.Next(&view)) OnArrival(view);
+}
+
+void EdgePartitioner::OnArrival(const ArrivalView& view) {
+  if (view.vertex == kInvalidVertex) return;
+  GrowTables(view.vertex);
+  label_of_[view.vertex] = view.label;
+  for (const VertexId neighbor : view.back_edges) {
+    OnEdge(view.vertex, neighbor);
+  }
+}
+
+uint32_t EdgePartitioner::OnEdge(VertexId u, VertexId v) {
+  GrowTables(std::max(u, v));
+  // The HDRF/DBH convention: the edge counts towards both partial degrees
+  // before the placement rule sees them, so the very first edge already has
+  // degree-1 endpoints and θ is well defined.
+  ++degree_[u];
+  ++degree_[v];
+
+  const uint64_t index = edge_index_++;
+  uint32_t pick = 0;
+  if (prior_ != nullptr && index < prior_->size() &&
+      stats_.prior_moves >= migration_budget_) {
+    // Budget spent: the clamp forces the prior partition anyway, so skip
+    // the scoring round entirely (mirrors the vertex restreamer's
+    // early-stop). The prior respected the edge budget when it was laid
+    // down, so re-applying it cannot worsen the bound.
+    pick = (*prior_)[index];
+    ++stats_.budget_denied_moves;
+  } else {
+    pick = PickPartition(u, v);
+    if (prior_ != nullptr && index < prior_->size()) {
+      const uint32_t home = (*prior_)[index];
+      if (pick != home) {
+        if (stats_.prior_moves >= migration_budget_) {
+          pick = home;
+          ++stats_.budget_denied_moves;
+        } else {
+          ++stats_.prior_moves;
+        }
+      }
+    }
+  }
+
+  if (pick >= options_.k) {
+    // A placement rule returning an out-of-range partition is a logic
+    // error; re-route instead of corrupting the counts, and surface it.
+    ++stats_.assign_errors;
+    pick = static_cast<uint32_t>(
+        std::min_element(edge_counts_.begin(), edge_counts_.end()) -
+        edge_counts_.begin());
+  }
+
+  replicas_.Add(u, pick);
+  replicas_.Add(v, pick);
+  ++edge_counts_[pick];
+  ++stats_.edges_assigned;
+  if (options_.record_placements) {
+    placements_.push_back(pick);
+  }
+  return pick;
+}
+
+void EdgePartitioner::BeginPass(const std::vector<uint32_t>* prior) {
+  replicas_ = ReplicaSet();
+  std::fill(edge_counts_.begin(), edge_counts_.end(), 0);
+  placements_.clear();
+  stats_ = EdgePartitionerStats();
+  prior_ = prior;
+  migration_budget_ = kUnlimitedMigrationBudget;
+  edge_index_ = 0;
+}
+
+void EdgePartitioner::Reset() {
+  BeginPass(nullptr);
+  degree_.clear();
+  label_of_.clear();
+}
+
+void EdgePartitioner::SetMigrationBudget(uint64_t max_moves) {
+  migration_budget_ = max_moves;
+}
+
+bool EdgePartitioner::WithinReplicaBudget(VertexId x, uint32_t p) const {
+  if (replicas_.Has(x, p)) return true;
+  const std::vector<uint32_t>* parts = replicas_.PartitionsOf(x);
+  return parts == nullptr || parts->size() < replica_cap_;
+}
+
+bool EdgePartitioner::Eligible(VertexId u, VertexId v, uint32_t p) const {
+  return !AtEdgeCapacity(p) && WithinReplicaBudget(u, p) &&
+         WithinReplicaBudget(v, p);
+}
+
+uint32_t EdgePartitioner::FallbackPartition(VertexId u, VertexId v) {
+  // Preference 1: least-loaded partition both replica budgets allow, even
+  // past the edge budget (stretching the balance bound beats spending
+  // replica budget the scoring refused to spend).
+  uint32_t best = options_.k;
+  for (uint32_t p = 0; p < options_.k; ++p) {
+    if (!WithinReplicaBudget(u, p) || !WithinReplicaBudget(v, p)) continue;
+    if (best == options_.k || edge_counts_[p] < edge_counts_[best]) best = p;
+  }
+  if (best != options_.k) {
+    ++stats_.overflow_fallbacks;
+    return best;
+  }
+  // Preference 2: both endpoints capped with disjoint sets — the cap must
+  // give way (the edge has to live somewhere). Least-loaded partition
+  // already holding *either* endpoint, so exactly one endpoint gains a
+  // replica past its budget (anywhere else would push both). Note the cap
+  // can only bind this way when 2 * cap <= k: with cap > k/2 the two full
+  // sets must intersect and preference 1 always finds a partition — the
+  // regime the property tests pin.
+  ++stats_.cap_relaxations;
+  best = options_.k;
+  for (const VertexId x : {u, v}) {
+    const std::vector<uint32_t>* parts = replicas_.PartitionsOf(x);
+    if (parts == nullptr) continue;
+    for (const uint32_t p : *parts) {
+      // Canonical least-loaded-then-lowest-index order, independent of the
+      // replica lists' insertion order (the differential oracle re-derives
+      // this from sorted sets).
+      if (best == options_.k || edge_counts_[p] < edge_counts_[best] ||
+          (edge_counts_[p] == edge_counts_[best] && p < best)) {
+        best = p;
+      }
+    }
+  }
+  if (best == options_.k) {
+    best = static_cast<uint32_t>(
+        std::min_element(edge_counts_.begin(), edge_counts_.end()) -
+        edge_counts_.begin());
+  }
+  if (AtEdgeCapacity(best)) ++stats_.overflow_fallbacks;
+  return best;
+}
+
+double EdgePartitioner::EffectiveDegree(VertexId v) const {
+  const double degree = static_cast<double>(PartialDegree(v));
+  if (!options_.heat || options_.heat_weight == 0.0) return degree;
+  const Label label = v < label_of_.size() ? label_of_[v] : 0;
+  return degree * (1.0 + options_.heat_weight * options_.heat(v, label));
+}
+
+void EdgePartitioner::GrowTables(VertexId v) {
+  if (v == kInvalidVertex) return;
+  if (v >= degree_.size()) {
+    degree_.resize(v + 1, 0);
+    label_of_.resize(v + 1, 0);
+  }
+}
+
+const std::vector<std::string>& KnownEdgePartitioners() {
+  static const std::vector<std::string> kNames = {"hdrf", "dbh"};
+  return kNames;
+}
+
+bool IsKnownEdgePartitioner(const std::string& name) {
+  const std::vector<std::string>& names = KnownEdgePartitioners();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+Result<std::unique_ptr<EdgePartitioner>> MakeEdgePartitioner(
+    const std::string& name, const EdgePartitionerOptions& options) {
+  const Status valid = ValidateEdgePartitionerOptions(options);
+  if (!valid.ok()) return valid;
+  if (name == "hdrf") {
+    return std::unique_ptr<EdgePartitioner>(
+        std::make_unique<HdrfPartitioner>(options));
+  }
+  if (name == "dbh") {
+    return std::unique_ptr<EdgePartitioner>(
+        std::make_unique<DbhPartitioner>(options));
+  }
+  return Status::InvalidArgument("unknown edge partitioner '" + name + "'");
+}
+
+}  // namespace loom

@@ -1,0 +1,38 @@
+#include "edge_partition/hdrf_partitioner.h"
+
+#include <algorithm>
+
+namespace loom {
+
+uint32_t HdrfPartitioner::PickPartition(VertexId u, VertexId v) {
+  const double du = EffectiveDegree(u);
+  const double dv = EffectiveDegree(v);
+  const double total = du + dv;
+  const double theta_u = total > 0.0 ? du / total : 0.5;
+  const double theta_v = 1.0 - theta_u;
+
+  const uint64_t max_size =
+      *std::max_element(edge_counts_.begin(), edge_counts_.end());
+  const uint64_t min_size =
+      *std::min_element(edge_counts_.begin(), edge_counts_.end());
+  const double spread = 1.0 + static_cast<double>(max_size - min_size);
+
+  uint32_t best = options_.k;
+  double best_score = 0.0;
+  for (uint32_t p = 0; p < options_.k; ++p) {
+    if (!Eligible(u, v, p)) continue;
+    double score = 0.0;
+    if (replicas_.Has(u, p)) score += 1.0 + (1.0 - theta_u);
+    if (replicas_.Has(v, p)) score += 1.0 + (1.0 - theta_v);
+    score += options_.lambda *
+             (static_cast<double>(max_size - edge_counts_[p]) / spread);
+    if (best == options_.k || score > best_score) {
+      best = p;
+      best_score = score;
+    }
+  }
+  if (best == options_.k) return FallbackPartition(u, v);
+  return best;
+}
+
+}  // namespace loom

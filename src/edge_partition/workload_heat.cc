@@ -1,0 +1,37 @@
+#include "edge_partition/workload_heat.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+namespace loom {
+
+std::vector<double> LabelHeatFromTrie(const TpstryPP& trie) {
+  std::vector<double> heat;
+  for (TpstryNodeId id = 0; id < trie.NumNodes(); ++id) {
+    const TpstryNode& node = trie.node(id);
+    if (node.support <= 0.0) continue;
+    std::unordered_set<Label> labels;
+    for (VertexId v = 0; v < node.motif.NumVertices(); ++v) {
+      labels.insert(node.motif.LabelOf(v));
+    }
+    for (const Label label : labels) {
+      if (label >= heat.size()) heat.resize(label + 1, 0.0);
+      heat[label] += node.support;
+    }
+  }
+  const double max_heat =
+      heat.empty() ? 0.0 : *std::max_element(heat.begin(), heat.end());
+  if (max_heat > 0.0) {
+    for (double& h : heat) h /= max_heat;
+  }
+  return heat;
+}
+
+VertexHeatFn MakeLabelHeatFn(std::vector<double> heat) {
+  return [table = std::move(heat)](VertexId /*vertex*/, Label label) {
+    return label < table.size() ? table[label] : 0.0;
+  };
+}
+
+}  // namespace loom

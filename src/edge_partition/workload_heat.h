@@ -1,0 +1,36 @@
+#ifndef LOOM_EDGE_PARTITION_WORKLOAD_HEAT_H_
+#define LOOM_EDGE_PARTITION_WORKLOAD_HEAT_H_
+
+/// \file
+/// Workload-aware heat for edge partitioning: distils the TPSTry++'s motif
+/// supports into a per-label heat table in [0, 1] and adapts it to the
+/// VertexHeatFn hook. A label is hot in proportion to the total support of
+/// the workload motifs it appears in, so vertices that anchor frequently-
+/// queried motifs get an inflated effective degree and replicate first
+/// (HDRF replicates them; DBH hashes their edges through colder
+/// neighbours) — replicas of exactly the vertices queries fan out of are
+/// what makes replicated traversals local. Live serving can refresh the
+/// table from WorkloadTracker::trie() between passes; the table is copied
+/// into the hook, so the trie need not outlive it.
+
+#include <vector>
+
+#include "edge_partition/edge_partitioner.h"
+#include "tpstry/tpstry_pp.h"
+
+namespace loom {
+
+/// Per-label heat from the trie's motif supports: heat[l] = (sum of
+/// `support` over nodes whose motif contains label l, counted once per
+/// node) normalised by the largest such sum, so the hottest label maps to
+/// 1.0. Labels absent from every motif get 0. Empty when the trie carries
+/// no support at all.
+std::vector<double> LabelHeatFromTrie(const TpstryPP& trie);
+
+/// Adapts a per-label heat table (copied) to the VertexHeatFn hook; labels
+/// past the table report 0.
+VertexHeatFn MakeLabelHeatFn(std::vector<double> heat);
+
+}  // namespace loom
+
+#endif  // LOOM_EDGE_PARTITION_WORKLOAD_HEAT_H_

@@ -1,0 +1,93 @@
+#include "graph/edge_list.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+namespace loom {
+
+namespace {
+
+/// Strict uint64 token parse: digits only (rejects "-1", "1e5", "12abc"),
+/// no overflow past uint64. Returns false instead of throwing so fuzzed
+/// garbage costs nothing.
+bool ParseVertexToken(const std::string& token, uint64_t* out) {
+  if (token.empty()) return false;
+  uint64_t value = 0;
+  for (const char c : token) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (~uint64_t{0} - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+Result<LabeledGraph> LoadEdgeListGraph(const std::string& path,
+                                       const EdgeListOptions& options,
+                                       EdgeListStats* stats) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::InvalidArgument("cannot open edge list: " + path);
+  }
+  LabeledGraph g;
+  Rng label_rng(options.seed + 1);
+  const LabelConfig label_config{options.num_labels, 0.0};
+  std::unordered_map<uint64_t, VertexId> dense_id;
+  EdgeListStats local;
+  const auto intern = [&](uint64_t raw) {
+    const auto it = dense_id.find(raw);
+    if (it != dense_id.end()) return it->second;
+    const VertexId v = g.AddVertex(DrawLabel(label_config, label_rng));
+    dense_id.emplace(raw, v);
+    return v;
+  };
+  std::string line;
+  uint64_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream fields(line);
+    std::string token_u;
+    std::string token_v;
+    if (!(fields >> token_u)) continue;  // whitespace-only line
+    if (!(fields >> token_v)) {
+      return Status::InvalidArgument(path + ":" +
+                                     std::to_string(line_number) +
+                                     ": expected 'u v'");
+    }
+    uint64_t raw_u = 0;
+    uint64_t raw_v = 0;
+    if (!ParseVertexToken(token_u, &raw_u) ||
+        !ParseVertexToken(token_v, &raw_v)) {
+      return Status::InvalidArgument(
+          path + ":" + std::to_string(line_number) +
+          ": vertex ids must be non-negative integers");
+    }
+    // Trailing columns (SNAP timestamps etc.) are ignored.
+    if (raw_u == raw_v) {
+      ++local.self_loops;
+      continue;
+    }
+    const VertexId u = intern(raw_u);
+    const VertexId v = intern(raw_v);
+    const Status added = g.AddEdge(u, v);
+    if (!added.ok()) {
+      if (added.code() == StatusCode::kAlreadyExists) {
+        ++local.duplicate_edges;
+        continue;
+      }
+      return Status::InvalidArgument(path + ":" +
+                                     std::to_string(line_number) + ": " +
+                                     added.ToString());
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return g;
+}
+
+}  // namespace loom

@@ -1,0 +1,47 @@
+#ifndef LOOM_GRAPH_EDGE_LIST_H_
+#define LOOM_GRAPH_EDGE_LIST_H_
+
+/// \file
+/// SNAP-style edge-list ingestion ("u v" per line), shared by loom_convert
+/// and the corruption tests. The parser is deliberately strict about what
+/// it *rejects* (malformed tokens, negative or overflowing ids — never a
+/// crash, never a silently wrong graph) and explicit about what it
+/// *normalises* (self-loops and duplicate edges dropped with counts,
+/// trailing columns such as SNAP timestamps ignored, '#'/'%' comment and
+/// blank lines skipped). Vertex ids are remapped to dense first-appearance
+/// order, so dense id order IS the file's own temporal order.
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+
+namespace loom {
+
+struct EdgeListOptions {
+  /// Labels are drawn uniformly from [0, num_labels) with this seed (edge
+  /// lists carry no label column).
+  uint32_t num_labels = 1;
+  uint64_t seed = 42;
+};
+
+/// What ingestion normalised away, for "dropped N self-loops" reporting.
+struct EdgeListStats {
+  uint64_t self_loops = 0;
+  uint64_t duplicate_edges = 0;
+};
+
+/// Parses the edge list at `path` into a dense-id LabeledGraph. Errors
+/// with InvalidArgument (naming the line) on unreadable files, lines with
+/// fewer than two tokens, non-numeric or negative ids, and ids past
+/// uint64; drops self-loops and duplicate edges into `stats` (which may be
+/// nullptr).
+Result<LabeledGraph> LoadEdgeListGraph(const std::string& path,
+                                       const EdgeListOptions& options,
+                                       EdgeListStats* stats);
+
+}  // namespace loom
+
+#endif  // LOOM_GRAPH_EDGE_LIST_H_

@@ -476,6 +476,8 @@ Result<std::unique_ptr<FileArrivalSource>> FileArrivalSource::Open(
   // Directory validation: exact prefix-sum offsets and in-bound degrees.
   // After this sweep every At()/Next() access is provably in bounds.
   const unsigned char* directory = bytes + kStreamFileHeaderBytes;
+  const uint32_t* edge_slots_base = reinterpret_cast<const uint32_t*>(
+      directory + header.num_vertices * kStreamFileRecordBytes);
   uint64_t running_offset = 0;
   uint64_t back_edge_total = 0;
   for (uint64_t i = 0; i < header.num_vertices; ++i) {
@@ -494,6 +496,18 @@ Result<std::unique_ptr<FileArrivalSource>> FileArrivalSource::Open(
     if (record.edge_offset != running_offset) {
       return reject_mapped("edge offsets are not a prefix sum");
     }
+    // Edge-value validation: every slot must name a real vertex (an
+    // out-of-range id would make consumers size their tables off corrupt
+    // data) and never the record's own vertex (self-loop).
+    for (uint32_t j = 0; j < record.full_degree; ++j) {
+      const uint32_t endpoint = edge_slots_base[record.edge_offset + j];
+      if (endpoint >= header.id_bound) {
+        return reject_mapped("edge endpoint outside id bound");
+      }
+      if (endpoint == record.vertex) {
+        return reject_mapped("self-loop edge record");
+      }
+    }
     running_offset += record.full_degree;
     back_edge_total += record.back_degree;
   }
@@ -502,6 +516,13 @@ Result<std::unique_ptr<FileArrivalSource>> FileArrivalSource::Open(
   }
   if (back_edge_total != header.num_edges) {
     return reject_mapped("back degrees inconsistent with edge count");
+  }
+
+  // The validation sweep faulted the whole file in; start cold when the
+  // caller asked for bounded residency, so the sweep itself cannot blow
+  // the budget's RSS contract.
+  if (options.residency_budget_bytes != 0) {
+    ::madvise(map, file_bytes, MADV_DONTNEED);
   }
 
   std::unique_ptr<FileArrivalSource> source(new FileArrivalSource());

@@ -168,8 +168,10 @@ struct StreamOpenOptions {
 /// Zero-copy cursor over an mmap-ed loom-stream file. `Next()` yields views
 /// whose spans point straight into the mapping — no per-arrival allocation
 /// or copy — and `Reset()` rewinds for replay. Open() validates the whole
-/// directory (magic, version, sizes, offset/degree consistency) so that
-/// iteration and At() can trust every offset without further checks.
+/// file (magic, version, sizes, offset/degree consistency, plus every edge
+/// slot: endpoints must be inside the id bound and never self-loops) so
+/// that iteration and At() can trust every offset and edge value without
+/// further checks.
 ///
 /// Residency: consuming a mapped file faults its pages in, which would make
 /// peak RSS O(file) and defeat the out-of-core design. The source therefore

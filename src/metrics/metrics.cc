@@ -72,6 +72,26 @@ double MigrationFraction(const PartitionAssignment& prev,
   return static_cast<double>(m.moved) / static_cast<double>(m.comparable);
 }
 
+double ReplicationFactor(const ReplicaSet& replicas) {
+  if (replicas.NumReplicatedVertices() == 0) return 0.0;
+  return static_cast<double>(replicas.NumReplicas()) /
+         static_cast<double>(replicas.NumReplicatedVertices());
+}
+
+double EdgeBalanceMaxOverAvg(const std::vector<uint64_t>& edge_counts) {
+  if (edge_counts.empty()) return 0.0;
+  uint64_t total = 0;
+  uint64_t max_count = 0;
+  for (const uint64_t count : edge_counts) {
+    total += count;
+    max_count = std::max(max_count, count);
+  }
+  if (total == 0) return 0.0;
+  const double avg =
+      static_cast<double>(total) / static_cast<double>(edge_counts.size());
+  return static_cast<double>(max_count) / avg;
+}
+
 std::string SizesToString(const PartitionAssignment& a) {
   std::string out;
   for (size_t i = 0; i < a.Sizes().size(); ++i) {

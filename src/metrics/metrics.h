@@ -12,6 +12,7 @@
 
 #include "graph/graph.h"
 #include "partition/partition_state.h"
+#include "partition/replica_set.h"
 #include "stream/arrival_source.h"
 
 namespace loom {
@@ -60,6 +61,18 @@ double MigrationFraction(const PartitionAssignment& prev,
 
 /// "12/13/11/14"-style partition-size string for result tables.
 std::string SizesToString(const PartitionAssignment& a);
+
+/// Edge partitioning's quality metric: average replicas per replicated
+/// vertex, NumReplicas / NumReplicatedVertices. >= 1 whenever any vertex is
+/// replicated (every vertex touching an assigned edge holds at least its
+/// own replica); 1.0 exactly when no vertex spans partitions. Returns 0 for
+/// an empty set (no edges streamed).
+double ReplicationFactor(const ReplicaSet& replicas);
+
+/// Normalised maximum edge load: max_p |E_p| / (m / k); the edge-partition
+/// counterpart of BalanceMaxOverAvg. 1.0 = perfectly balanced, 0 for an
+/// empty vector or zero edges.
+double EdgeBalanceMaxOverAvg(const std::vector<uint64_t>& edge_counts);
 
 }  // namespace loom
 

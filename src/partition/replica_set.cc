@@ -18,9 +18,49 @@ bool ReplicaSet::Has(VertexId v, uint32_t partition) const {
          it->second.end();
 }
 
+bool ReplicaSet::Remove(VertexId v, uint32_t partition) {
+  const auto it = replicas_.find(v);
+  if (it == replicas_.end()) return false;
+  auto& parts = it->second;
+  const auto pos = std::find(parts.begin(), parts.end(), partition);
+  if (pos == parts.end()) return false;
+  // erase (not swap-and-pop) keeps insertion order, so removing the
+  // primary promotes the oldest surviving secondary.
+  parts.erase(pos);
+  --num_replicas_;
+  if (parts.empty()) replicas_.erase(it);
+  return true;
+}
+
 const std::vector<uint32_t>* ReplicaSet::PartitionsOf(VertexId v) const {
   const auto it = replicas_.find(v);
   return it == replicas_.end() ? nullptr : &it->second;
+}
+
+uint32_t ReplicaSet::PrimaryOf(VertexId v) const {
+  const auto it = replicas_.find(v);
+  if (it == replicas_.end()) return kNoReplica;
+  return it->second.front();
+}
+
+size_t ReplicaSet::NumReplicasOf(VertexId v) const {
+  const auto it = replicas_.find(v);
+  return it == replicas_.end() ? 0 : it->second.size();
+}
+
+bool ReplicaSet::CheckInvariants() const {
+  size_t total = 0;
+  for (const auto& [vertex, parts] : replicas_) {
+    (void)vertex;
+    if (parts.empty()) return false;
+    for (size_t i = 0; i < parts.size(); ++i) {
+      for (size_t j = i + 1; j < parts.size(); ++j) {
+        if (parts[i] == parts[j]) return false;
+      }
+    }
+    total += parts.size();
+  }
+  return total == num_replicas_;
 }
 
 }  // namespace loom

@@ -16,25 +16,64 @@
 
 namespace loom {
 
+/// `PrimaryOf` result for a vertex with no replicas.
+inline constexpr uint32_t kNoReplica = ~uint32_t{0};
+
 /// A set of (vertex, partition) replica placements.
+///
+/// ## Primary-vs-secondary invariants
+///
+/// A vertex's replica list is kept in insertion order, and its *primary*
+/// replica is the list head — the partition the vertex was first placed
+/// into (a vertex partitioner's home partition; an edge partitioner's
+/// first-edge partition). The audited invariants, checked by
+/// `CheckInvariants` and exercised by tests/replication_test.cc:
+///
+///  * a vertex has exactly one primary, and it is `PartitionsOf(v)[0]`;
+///  * erasing a secondary never changes the primary; erasing the primary
+///    promotes the *oldest surviving secondary* (insertion order is
+///    preserved, never re-sorted);
+///  * erasing the last replica removes the vertex entirely, so
+///    `NumReplicatedVertices` never counts empty lists;
+///  * `NumReplicas` equals the sum of list lengths under any interleaving
+///    of Add / Remove / re-Add (re-adding an erased partition appends it
+///    as a secondary — the erase forgot its seniority).
 class ReplicaSet {
  public:
   ReplicaSet() = default;
 
-  /// Replicates `v` into `partition` (idempotent).
+  /// Replicates `v` into `partition` (idempotent). The first Add for `v`
+  /// makes `partition` its primary.
   void Add(VertexId v, uint32_t partition);
+
+  /// Erases the replica of `v` in `partition`. Returns false (changing
+  /// nothing) when it does not exist. Removing the primary promotes the
+  /// oldest surviving secondary; removing the last replica forgets the
+  /// vertex.
+  bool Remove(VertexId v, uint32_t partition);
 
   /// True iff `v` has a replica in `partition`.
   bool Has(VertexId v, uint32_t partition) const;
 
-  /// Partitions holding a replica of `v` (unsorted).
+  /// Partitions holding a replica of `v`, oldest (primary) first.
   const std::vector<uint32_t>* PartitionsOf(VertexId v) const;
+
+  /// Primary partition of `v`, or kNoReplica when unreplicated.
+  uint32_t PrimaryOf(VertexId v) const;
+
+  /// Number of partitions holding a replica of `v`.
+  size_t NumReplicasOf(VertexId v) const;
 
   /// Total number of (vertex, partition) replica pairs.
   size_t NumReplicas() const { return num_replicas_; }
 
   /// Number of distinct vertices with at least one replica.
   size_t NumReplicatedVertices() const { return replicas_.size(); }
+
+  /// Accounting audit: true iff `NumReplicas` matches the summed list
+  /// lengths, no list is empty and no list holds a duplicate partition.
+  /// O(replicas); meant for tests and debug assertions, not hot paths.
+  bool CheckInvariants() const;
 
  private:
   std::unordered_map<VertexId, std::vector<uint32_t>> replicas_;

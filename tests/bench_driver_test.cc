@@ -202,7 +202,7 @@ TEST_F(BenchDriverTest, EdgeCutJsonIsValidWithExpectedKeys) {
   const std::string text = ReadFileOrDie(*out_dir_ + "/BENCH_edge_cut.json");
   ASSERT_FALSE(text.empty());
   EXPECT_TRUE(JsonChecker(text).Valid()) << text;
-  EXPECT_NE(text.find("\"schema\": \"loom-bench-edge-cut-v6\""),
+  EXPECT_NE(text.find("\"schema\": \"loom-bench-edge-cut-v7\""),
             std::string::npos);
   for (const char* key :
        {"\"edge_cut_fraction\"", "\"balance\"", "\"vertices_per_second\"",
@@ -307,6 +307,24 @@ TEST_F(BenchDriverTest, EdgeCutJsonHasLargeSection) {
         "\"rss_ok\": true"}) {
     EXPECT_NE(text.find(key), std::string::npos)
         << "missing large key " << key;
+  }
+}
+
+TEST_F(BenchDriverTest, EdgeCutJsonHasEdgePartitionSection) {
+  const std::string text = ReadFileOrDie(*out_dir_ + "/BENCH_edge_cut.json");
+  ASSERT_FALSE(text.empty());
+  EXPECT_NE(text.find("\"edge_partition\": ["), std::string::npos)
+      << "missing edge_partition section";
+  // Schema v7 keys: the vertex-cut quality axes (replication factor,
+  // edge balance), both streaming algorithms on both tiers, and the
+  // lambda knob the HDRF rows sweep.
+  for (const char* key :
+       {"\"replication_factor\"", "\"edges_per_second\"",
+        "\"restream_passes\"", "\"lambda\"", "\"cap_relaxations\"",
+        "\"partitioner\": \"hdrf\"", "\"partitioner\": \"dbh\"",
+        "\"tier\": \"in-memory\"", "\"tier\": \"file-backed-ba\""}) {
+    EXPECT_NE(text.find(key), std::string::npos)
+        << "missing edge_partition key " << key;
   }
 }
 

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "graph/edge_list.h"
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "partition/partition_io.h"
@@ -307,6 +308,56 @@ TEST(StreamFileTest, RejectsMalformedFiles) {
   std::remove(path.c_str());
 }
 
+// Open() validates edge *values*, not just directory geometry: a corrupt
+// edge slot could otherwise make consumers size O(4G) id-indexed tables (an
+// endpoint past the id bound) or silently violate the no-self-loop stream
+// invariant. Mutations target the flat edge array of the GoldenBytes layout
+// (3 arrivals, edge words start at byte 136), so the directory stays
+// perfectly consistent and only the value sweep can catch them.
+TEST(StreamFileTest, RejectsCorruptEdgeValues) {
+  GraphStream stream;
+  stream.Append(VertexArrival{0, 7, {}});
+  stream.Append(VertexArrival{1, 3, {0}});
+  stream.Append(VertexArrival{2, 0, {0, 1}});
+  const std::string path = TempPath("loom_stream_badedges.loomstrm");
+  ASSERT_TRUE(WriteStreamFile(stream, path).ok());
+  const std::string good = ReadFileBytes(path);
+
+  const size_t edge_base = kStreamFileHeaderBytes + 3 * kStreamFileRecordBytes;
+  const auto poke_edge_word = [&](size_t word, uint32_t value) {
+    std::string bytes = good;
+    for (int b = 0; b < 4; ++b) {
+      bytes[edge_base + 4 * word + b] =
+          static_cast<char>((value >> (8 * b)) & 0xff);
+    }
+    return bytes;
+  };
+  const auto expect_rejected = [&](const std::string& bytes,
+                                   const char* what) {
+    WriteFileBytes(path, bytes);
+    const auto opened = FileArrivalSource::Open(path);
+    ASSERT_FALSE(opened.ok()) << what;
+    EXPECT_EQ(opened.status().code(), StatusCode::kInvalidArgument) << what;
+  };
+
+  // Edge words: [1, 2, 0, 2, 0, 1] (see GoldenBytes); id_bound is 3.
+  expect_rejected(poke_edge_word(0, 3), "endpoint == id_bound");
+  expect_rejected(poke_edge_word(5, 0xffffffffu), "endpoint huge");
+  // Word 2 is arrival 1's (vertex 1) back edge: 0 -> 1 is a self-loop.
+  expect_rejected(poke_edge_word(2, 1), "self-loop edge record");
+  // Word 4 is arrival 2's (vertex 2) first back edge.
+  expect_rejected(poke_edge_word(4, 2), "self-loop in back edges");
+
+  // The unmutated file still opens (the sweep has no false positives), and
+  // so does a file whose validation ran under a tiny residency budget.
+  WriteFileBytes(path, good);
+  EXPECT_TRUE(FileArrivalSource::Open(path).ok());
+  StreamOpenOptions tiny;
+  tiny.residency_budget_bytes = 4096;
+  EXPECT_TRUE(FileArrivalSource::Open(path, tiny).ok());
+  std::remove(path.c_str());
+}
+
 TEST(StreamFileTest, WriterRejectsStreamInvariantViolations) {
   const std::string path = TempPath("loom_stream_invariants.loomstrm");
   const std::vector<VertexId> none;
@@ -374,6 +425,102 @@ TEST(StreamFileTest, TinyResidencyBudgetStaysCorrect) {
     EXPECT_EQ(edges, stream.NumEdges());
   }
   std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Edge-list ingestion (graph/edge_list.h) — the loom_convert front door.
+// Fuzz-style negative tests: malformed input must reject with a line-anchored
+// error or normalize with accounting, never crash or mis-parse.
+// ---------------------------------------------------------------------------
+
+std::string WriteEdgeListFile(const std::string& name,
+                              const std::string& text) {
+  const std::string path = TempPath(name);
+  WriteFileBytes(path, text);
+  return path;
+}
+
+TEST(EdgeListTest, LoadsPlainEdgesWithCommentsAndTrailingColumns) {
+  const std::string path = WriteEdgeListFile("loom_el_ok.txt",
+                                             "# SNAP-style comment\n"
+                                             "% matrix-market comment\n"
+                                             "\n"
+                                             "   \t  \n"
+                                             "0 1 1234567890\n"
+                                             "1 2\n"
+                                             "2\t0\textra\tcolumns\n");
+  EdgeListStats stats;
+  auto loaded = LoadEdgeListGraph(path, EdgeListOptions{}, &stats);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->NumVertices(), 3u);
+  EXPECT_EQ(loaded->NumEdges(), 3u);
+  EXPECT_EQ(stats.self_loops, 0u);
+  EXPECT_EQ(stats.duplicate_edges, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListTest, NormalizesSelfLoopsAndDuplicates) {
+  // Duplicates in both orientations and repeated self-loops collapse to one
+  // clean undirected edge, with the drops accounted — loom_convert surfaces
+  // these counts so silent corpus damage is visible.
+  const std::string path = WriteEdgeListFile("loom_el_norm.txt",
+                                             "5 5\n"
+                                             "0 1\n"
+                                             "1 0\n"
+                                             "0 1\n"
+                                             "7 7\n");
+  EdgeListStats stats;
+  auto loaded = LoadEdgeListGraph(path, EdgeListOptions{}, &stats);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->NumEdges(), 1u);
+  EXPECT_EQ(stats.self_loops, 2u);
+  EXPECT_EQ(stats.duplicate_edges, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListTest, RemapsSparseIdsDensely) {
+  // Raw ids map to dense first-appearance order, so a 3-line file with
+  // billion-scale ids builds a 4-vertex graph, not a 4G-entry table.
+  const std::string path = WriteEdgeListFile("loom_el_sparse.txt",
+                                             "1000000000 7\n"
+                                             "7 18446744073709551615\n"
+                                             "1000000000 3\n");
+  auto loaded = LoadEdgeListGraph(path, EdgeListOptions{}, nullptr);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->NumVertices(), 4u);
+  EXPECT_EQ(loaded->NumEdges(), 3u);
+  // First-appearance interning is deterministic: 1000000000 -> 0, 7 -> 1.
+  EXPECT_TRUE(loaded->HasEdge(0, 1));
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListTest, RejectsMalformedLines) {
+  const auto expect_rejected = [](const std::string& text, const char* what,
+                                  const char* line_tag) {
+    const std::string path = WriteEdgeListFile("loom_el_bad.txt", text);
+    const auto loaded = LoadEdgeListGraph(path, EdgeListOptions{}, nullptr);
+    ASSERT_FALSE(loaded.ok()) << what;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument) << what;
+    // Errors are anchored to the offending line number for triage.
+    EXPECT_NE(loaded.status().ToString().find(line_tag), std::string::npos)
+        << what << ": " << loaded.status().ToString();
+    std::remove(path.c_str());
+  };
+
+  expect_rejected("0 1\n42\n", "single-token line", ":2");
+  expect_rejected("-1 2\n", "negative id", ":1");
+  expect_rejected("0 1\n1e5 2\n", "scientific notation", ":2");
+  expect_rejected("0 12abc\n", "digits then garbage", ":1");
+  expect_rejected("18446744073709551616 0\n", "uint64 overflow", ":1");
+  expect_rejected("0x10 1\n", "hex id", ":1");
+}
+
+TEST(EdgeListTest, MissingFileIsRejected) {
+  EXPECT_EQ(LoadEdgeListGraph("/nonexistent/edges.txt", EdgeListOptions{},
+                              nullptr)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
 }
 
 }  // namespace

@@ -29,6 +29,105 @@ TEST(ReplicaSetTest, AddHasIdempotent) {
   EXPECT_EQ(r.PartitionsOf(6), nullptr);
 }
 
+TEST(ReplicaSetTest, PrimaryIsFirstAddedPartition) {
+  ReplicaSet r;
+  EXPECT_EQ(r.PrimaryOf(7), kNoReplica);
+  r.Add(7, 3);
+  r.Add(7, 1);
+  r.Add(7, 5);
+  EXPECT_EQ(r.PrimaryOf(7), 3u);
+  EXPECT_EQ(r.NumReplicasOf(7), 3u);
+  // A secondary erase never changes the primary.
+  EXPECT_TRUE(r.Remove(7, 1));
+  EXPECT_EQ(r.PrimaryOf(7), 3u);
+  EXPECT_TRUE(r.CheckInvariants());
+}
+
+TEST(ReplicaSetTest, RemovingPrimaryPromotesOldestSecondary) {
+  ReplicaSet r;
+  r.Add(9, 2);
+  r.Add(9, 0);
+  r.Add(9, 4);
+  EXPECT_TRUE(r.Remove(9, 2));
+  // Insertion order is preserved, so the oldest secondary is promoted —
+  // not the lowest partition index.
+  EXPECT_EQ(r.PrimaryOf(9), 0u);
+  EXPECT_TRUE(r.Remove(9, 0));
+  EXPECT_EQ(r.PrimaryOf(9), 4u);
+  EXPECT_TRUE(r.CheckInvariants());
+}
+
+TEST(ReplicaSetTest, EraseReAddAccounting) {
+  ReplicaSet r;
+  r.Add(1, 0);
+  r.Add(1, 2);
+  r.Add(2, 1);
+  EXPECT_EQ(r.NumReplicas(), 3u);
+  EXPECT_EQ(r.NumReplicatedVertices(), 2u);
+
+  // Removing a missing pair changes nothing and reports false.
+  EXPECT_FALSE(r.Remove(1, 3));
+  EXPECT_FALSE(r.Remove(99, 0));
+  EXPECT_EQ(r.NumReplicas(), 3u);
+
+  // Erase + re-add: the count round-trips and the re-added partition comes
+  // back as a *secondary* (the erase forgot its seniority).
+  EXPECT_TRUE(r.Remove(1, 0));
+  EXPECT_EQ(r.NumReplicas(), 2u);
+  EXPECT_EQ(r.PrimaryOf(1), 2u);
+  r.Add(1, 0);
+  EXPECT_EQ(r.NumReplicas(), 3u);
+  EXPECT_EQ(r.PrimaryOf(1), 2u);
+  ASSERT_NE(r.PartitionsOf(1), nullptr);
+  EXPECT_EQ((*r.PartitionsOf(1))[1], 0u);
+
+  // Double-remove of the same pair is not double-counted.
+  EXPECT_TRUE(r.Remove(1, 0));
+  EXPECT_FALSE(r.Remove(1, 0));
+  EXPECT_EQ(r.NumReplicas(), 2u);
+  EXPECT_TRUE(r.CheckInvariants());
+}
+
+TEST(ReplicaSetTest, RemovingLastReplicaForgetsVertex) {
+  ReplicaSet r;
+  r.Add(4, 1);
+  EXPECT_EQ(r.NumReplicatedVertices(), 1u);
+  EXPECT_TRUE(r.Remove(4, 1));
+  EXPECT_EQ(r.NumReplicatedVertices(), 0u);
+  EXPECT_EQ(r.NumReplicas(), 0u);
+  EXPECT_EQ(r.PrimaryOf(4), kNoReplica);
+  EXPECT_EQ(r.PartitionsOf(4), nullptr);
+  EXPECT_EQ(r.NumReplicasOf(4), 0u);
+  EXPECT_TRUE(r.CheckInvariants());
+
+  // The vertex can come back fresh.
+  r.Add(4, 2);
+  EXPECT_EQ(r.PrimaryOf(4), 2u);
+  EXPECT_EQ(r.NumReplicas(), 1u);
+  EXPECT_TRUE(r.CheckInvariants());
+}
+
+TEST(ReplicaSetTest, InvariantsHoldUnderInterleavedChurn) {
+  // Deterministic add/remove churn; CheckInvariants recounts from scratch,
+  // so any drift in num_replicas_ accounting surfaces here.
+  ReplicaSet r;
+  for (uint32_t round = 0; round < 200; ++round) {
+    const VertexId v = (round * 7) % 23;
+    const uint32_t p = (round * 13) % 6;
+    if (round % 3 == 2) {
+      r.Remove(v, p);
+    } else {
+      r.Add(v, p);
+    }
+  }
+  EXPECT_TRUE(r.CheckInvariants());
+  for (VertexId v = 0; v < 23; ++v) {
+    if (r.NumReplicasOf(v) > 0) {
+      EXPECT_EQ(r.PrimaryOf(v), (*r.PartitionsOf(v))[0]);
+    }
+  }
+}
+
 TEST(ReplicationTest, ReplicatedTraversalBecomesLocal) {
   // a(0) - b(1) split across partitions: the traversal crosses; replicating
   // b into a's partition makes it local.

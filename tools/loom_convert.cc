@@ -23,14 +23,13 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <memory>
-#include <sstream>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/timer.h"
+#include "graph/edge_list.h"
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "stream/stream.h"
@@ -119,64 +118,27 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   return true;
 }
 
-// Parses a SNAP-style edge list into a dense-id LabeledGraph. Vertex ids are
-// remapped in first-appearance order, so dense id order IS the file's own
-// temporal order and --order original is the identity permutation.
+// Parses a SNAP-style edge list through the shared strict parser
+// (graph/edge_list.h): self-loops/duplicates normalised with counts,
+// malformed or negative ids rejected with the offending line. Vertex ids
+// are remapped in first-appearance order, so dense id order IS the file's
+// own temporal order and --order original is the identity permutation.
 bool LoadEdgeList(const Args& args, LabeledGraph* g) {
-  std::ifstream in(args.in_path);
-  if (!in) {
-    std::fprintf(stderr, "loom_convert: cannot open %s\n",
-                 args.in_path.c_str());
+  loom::EdgeListOptions options;
+  options.num_labels = args.num_labels;
+  options.seed = args.seed;
+  loom::EdgeListStats stats;
+  auto loaded = loom::LoadEdgeListGraph(args.in_path, options, &stats);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "loom_convert: %s\n",
+                 loaded.status().ToString().c_str());
     return false;
   }
-  loom::Rng label_rng(args.seed + 1);
-  const loom::LabelConfig label_config{args.num_labels, 0.0};
-  std::unordered_map<uint64_t, VertexId> dense_id;
-  uint64_t self_loops = 0;
-  uint64_t duplicates = 0;
-  const auto intern = [&](uint64_t raw) {
-    const auto it = dense_id.find(raw);
-    if (it != dense_id.end()) return it->second;
-    const VertexId v = g->AddVertex(loom::DrawLabel(label_config, label_rng));
-    dense_id.emplace(raw, v);
-    return v;
-  };
-  std::string line;
-  uint64_t line_number = 0;
-  while (std::getline(in, line)) {
-    ++line_number;
-    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
-    std::istringstream fields(line);
-    uint64_t raw_u = 0;
-    uint64_t raw_v = 0;
-    if (!(fields >> raw_u >> raw_v)) {
-      std::fprintf(stderr, "loom_convert: %s:%llu: expected 'u v'\n",
-                   args.in_path.c_str(),
-                   static_cast<unsigned long long>(line_number));
-      return false;
-    }
-    if (raw_u == raw_v) {
-      ++self_loops;
-      continue;
-    }
-    const VertexId u = intern(raw_u);
-    const VertexId v = intern(raw_v);
-    const loom::Status added = g->AddEdge(u, v);
-    if (!added.ok()) {
-      if (added.code() == loom::StatusCode::kAlreadyExists) {
-        ++duplicates;
-        continue;
-      }
-      std::fprintf(stderr, "loom_convert: %s:%llu: %s\n", args.in_path.c_str(),
-                   static_cast<unsigned long long>(line_number),
-                   added.ToString().c_str());
-      return false;
-    }
-  }
-  if (self_loops + duplicates > 0) {
+  *g = std::move(*loaded);
+  if (stats.self_loops + stats.duplicate_edges > 0) {
     std::printf("dropped %llu self-loops, %llu duplicate edges\n",
-                static_cast<unsigned long long>(self_loops),
-                static_cast<unsigned long long>(duplicates));
+                static_cast<unsigned long long>(stats.self_loops),
+                static_cast<unsigned long long>(stats.duplicate_edges));
   }
   return true;
 }

@@ -11,19 +11,33 @@
 //                  [--order random|bfs|dfs|adversarial|stochastic|natural]
 //                  [--slack 1.1] [--seed 42] [--traversal-weights]
 //                  [--evaluate]
+//
+// Edge-partitioning mode (vertex-cut instead of edge-cut; no --out, the
+// placements are reported rather than persisted):
+//   loom_partition --graph g.loom --edge-partitioner hdrf|dbh
+//                  [--k 8] [--lambda 1.0] [--max-replicas R] [--slack 1.1]
+//                  [--restream-passes N] [--migration-fraction F]
+//                  [--heat-weight W]   (needs --workload; hot motif labels
+//                                       replicate first)
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/loom.h"
 #include "core/partitioner_factory.h"
+#include "edge_partition/edge_partitioner.h"
+#include "edge_partition/edge_restream.h"
+#include "edge_partition/workload_heat.h"
 #include "graph/io.h"
 #include "metrics/metrics.h"
 #include "partition/offline_partitioner.h"
 #include "partition/partition_io.h"
 #include "stream/stream.h"
+#include "tpstry/tpstry_pp.h"
 #include "workload/query_engine.h"
 #include "workload/workload_io.h"
 
@@ -42,6 +56,13 @@ struct Args {
   uint64_t seed = 42;
   bool traversal_weights = false;
   bool evaluate = false;
+  // Edge-partitioning mode.
+  std::string edge_partitioner;
+  double lambda = 1.0;
+  uint32_t max_replicas = 0;
+  uint32_t restream_passes = 1;
+  double migration_fraction = 1.0;
+  double heat_weight = 0.0;
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -94,12 +115,39 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->traversal_weights = true;
     } else if (flag == "--evaluate") {
       args->evaluate = true;
+    } else if (flag == "--edge-partitioner") {
+      const char* v = next();
+      if (!v) return false;
+      args->edge_partitioner = v;
+    } else if (flag == "--lambda") {
+      const char* v = next();
+      if (!v) return false;
+      args->lambda = std::stod(v);
+    } else if (flag == "--max-replicas") {
+      const char* v = next();
+      if (!v) return false;
+      args->max_replicas = static_cast<uint32_t>(std::stoul(v));
+    } else if (flag == "--restream-passes") {
+      const char* v = next();
+      if (!v) return false;
+      args->restream_passes = static_cast<uint32_t>(std::stoul(v));
+    } else if (flag == "--migration-fraction") {
+      const char* v = next();
+      if (!v) return false;
+      args->migration_fraction = std::stod(v);
+    } else if (flag == "--heat-weight") {
+      const char* v = next();
+      if (!v) return false;
+      args->heat_weight = std::stod(v);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
     }
   }
-  return !args->graph_path.empty() && !args->out_path.empty();
+  // Edge mode reports metrics instead of writing an assignment file, so
+  // --out is only required for the vertex-partitioning path.
+  return !args->graph_path.empty() &&
+         (!args->out_path.empty() || !args->edge_partitioner.empty());
 }
 
 loom::StreamOrder ParseOrder(const std::string& name) {
@@ -110,6 +158,134 @@ loom::StreamOrder ParseOrder(const std::string& name) {
   if (name == "adversarial") return StreamOrder::kAdversarial;
   if (name == "stochastic") return StreamOrder::kStochastic;
   return StreamOrder::kNatural;
+}
+
+/// True when `path` starts with the loom-stream magic (a binary .loomstrm
+/// file rather than loom-graph text).
+bool LooksLikeStreamFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  uint64_t magic = 0;
+  const bool read = std::fread(&magic, sizeof(magic), 1, f) == 1;
+  std::fclose(f);
+  return read && magic == loom::kStreamFileMagic;
+}
+
+/// Edge-partitioning mode: streams `--graph` (loom-graph text, materialised
+/// under `--order`, or a .loomstrm file consumed out-of-core) through an
+/// HDRF/DBH edge partitioner and reports replication factor and balance.
+int RunEdgePartitionMode(const Args& args, const loom::Workload& workload) {
+  using namespace loom;
+
+  std::unique_ptr<FileArrivalSource> file_source;
+  std::unique_ptr<LabeledGraph> graph;
+  GraphStream stream;
+  std::unique_ptr<StreamCursor> cursor;
+  ArrivalSource* source = nullptr;
+  if (LooksLikeStreamFile(args.graph_path)) {
+    auto opened = FileArrivalSource::Open(args.graph_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "stream file: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    file_source = std::move(opened).value();
+    source = file_source.get();
+  } else {
+    auto loaded = LoadGraph(args.graph_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "graph: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    graph = std::make_unique<LabeledGraph>(std::move(loaded).value());
+    Rng rng(args.seed);
+    stream = MakeStream(*graph, ParseOrder(args.order), rng);
+    cursor = std::make_unique<StreamCursor>(stream);
+    source = cursor.get();
+  }
+  std::printf("stream: %llu vertices, %llu edges (%s)\n",
+              static_cast<unsigned long long>(source->NumVertices()),
+              static_cast<unsigned long long>(source->NumEdges()),
+              file_source ? "file-backed" : "materialized");
+
+  EdgePartitionerOptions eopts;
+  eopts.k = args.k;
+  eopts.lambda = args.lambda;
+  eopts.num_edges_hint = source->NumEdges();
+  eopts.num_vertices_hint =
+      file_source ? file_source->IdBound() : source->NumVertices();
+  eopts.balance_slack = args.slack;
+  eopts.max_partitions_per_vertex = args.max_replicas;
+  eopts.seed = args.seed;
+  eopts.heat_weight = args.heat_weight;
+  if (args.heat_weight > 0.0) {
+    if (workload.NumQueries() == 0) {
+      std::fprintf(stderr, "--heat-weight requires --workload\n");
+      return 2;
+    }
+    // The trie only needs to span the workload's own label alphabet; heat
+    // for labels past the table is zero by construction.
+    uint32_t num_labels = 1;
+    for (const QuerySpec& q : workload.queries()) {
+      for (VertexId v = 0; v < q.pattern.NumVertices(); ++v) {
+        num_labels = std::max(num_labels, q.pattern.LabelOf(v) + 1);
+      }
+    }
+    TpstryPP trie(num_labels);
+    for (const QuerySpec& q : workload.queries()) {
+      const Status added = trie.AddQuery(q.pattern, q.frequency);
+      if (!added.ok()) {
+        std::fprintf(stderr, "workload trie: %s\n", added.ToString().c_str());
+        return 1;
+      }
+    }
+    eopts.heat = MakeLabelHeatFn(LabelHeatFromTrie(trie));
+  }
+
+  auto partitioner = MakeEdgePartitioner(args.edge_partitioner, eopts);
+  if (!partitioner.ok()) {
+    std::fprintf(stderr, "edge partitioner: %s\n",
+                 partitioner.status().ToString().c_str());
+    return 2;
+  }
+
+  EdgeRestreamOptions ropts;
+  ropts.num_passes = args.restream_passes;
+  ropts.max_migration_fraction = args.migration_fraction;
+  EdgeRestreamer restreamer(source, ropts);
+  auto run = restreamer.Run(partitioner->get());
+  if (!run.ok()) {
+    std::fprintf(stderr, "edge partition: %s\n",
+                 run.status().ToString().c_str());
+    return 1;
+  }
+
+  const EdgePartitioner& ep = **partitioner;
+  std::printf("edge partition (%s, k=%u, lambda=%.2f): %llu edges placed\n",
+              ep.Name().c_str(), eopts.k, eopts.lambda,
+              static_cast<unsigned long long>(ep.stats().edges_assigned));
+  std::printf("replication factor: %.4f  balance: %.3f\n",
+              run->replication_factor, run->balance);
+  for (const EdgeRestreamPassStats& pass : run->passes) {
+    std::printf(
+        "  pass %u: rf %.4f (best %.4f)  balance %.3f  moved %.1f%%  "
+        "%.0f edges/s\n",
+        pass.pass, pass.replication_factor, pass.best_replication_factor,
+        pass.balance, 100.0 * pass.moved_fraction,
+        pass.seconds > 0.0
+            ? static_cast<double>(ep.stats().edges_assigned) / pass.seconds
+            : 0.0);
+  }
+  if (ep.stats().assign_errors > 0 || ep.stats().cap_relaxations > 0 ||
+      ep.stats().overflow_fallbacks > 0) {
+    std::printf(
+        "  fallbacks: %llu overflow, %llu cap relaxations, %llu errors\n",
+        static_cast<unsigned long long>(ep.stats().overflow_fallbacks),
+        static_cast<unsigned long long>(ep.stats().cap_relaxations),
+        static_cast<unsigned long long>(ep.stats().assign_errors));
+  }
+  return 0;
 }
 
 }  // namespace
@@ -123,17 +299,13 @@ int main(int argc, char** argv) {
                  "[--partitioner loom|ldg|fennel|ldg-buffered|hash|metis] "
                  "[--k K] "
                  "[--window N] [--threshold T] [--order O] [--slack S] "
-                 "[--seed N] [--traversal-weights] [--evaluate]\n");
+                 "[--seed N] [--traversal-weights] [--evaluate]\n"
+                 "   or: loom_partition --graph G[.loomstrm] "
+                 "--edge-partitioner hdrf|dbh [--k K] [--lambda L] "
+                 "[--max-replicas R] [--slack S] [--restream-passes N] "
+                 "[--migration-fraction F] [--heat-weight W --workload W]\n");
     return 2;
   }
-
-  auto graph = LoadGraph(args.graph_path);
-  if (!graph.ok()) {
-    std::fprintf(stderr, "graph: %s\n", graph.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("graph: %zu vertices, %zu edges\n", graph->NumVertices(),
-              graph->NumEdges());
 
   Workload workload;
   if (!args.workload_path.empty()) {
@@ -146,10 +318,22 @@ int main(int argc, char** argv) {
     workload = std::move(loaded).value();
     workload.Normalize();
     std::printf("workload: %zu queries\n", workload.NumQueries());
-  } else if (args.partitioner == "loom") {
+  } else if (args.edge_partitioner.empty() && args.partitioner == "loom") {
     std::fprintf(stderr, "--partitioner loom requires --workload\n");
     return 2;
   }
+
+  if (!args.edge_partitioner.empty()) {
+    return RunEdgePartitionMode(args, workload);
+  }
+
+  auto graph = LoadGraph(args.graph_path);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "graph: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("graph: %zu vertices, %zu edges\n", graph->NumVertices(),
+              graph->NumEdges());
 
   Rng rng(args.seed);
   const GraphStream stream =

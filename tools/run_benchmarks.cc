@@ -34,6 +34,8 @@
 
 #include "common/timer.h"
 #include "drift_scenario.h"
+#include "edge_partition/edge_partitioner.h"
+#include "edge_partition/edge_restream.h"
 #include "graph/io.h"
 #include "perf_report.h"
 #include "restream/restreamer.h"
@@ -184,7 +186,68 @@ bool RunLargeLoomRow(const LargeConfig& cfg, FileArrivalSource& file,
   return true;
 }
 
-bool RunLargeSection(const LargeConfig& cfg, std::vector<JsonObject>* rows) {
+// File-backed edge-partitioning rows (vertex-cut): HDRF and DBH stream the
+// same loom-stream file end-to-end and report replication factor and
+// balance. Emitted into the `edge_partition` section (tier field set), not
+// `large`, so the two cut models keep separate row schemas. Runs while the
+// large tier's file still exists and before the in-memory sections, under
+// the same O(V) state discipline (no placement log).
+bool RunLargeEdgePartitionRows(const LargeConfig& cfg, FileArrivalSource& file,
+                               bool generated,
+                               std::vector<JsonObject>* rows) {
+  for (const char* name : {"hdrf", "dbh"}) {
+    EdgePartitionerOptions eopts;
+    eopts.k = cfg.k;
+    eopts.lambda = 1.0;
+    eopts.num_edges_hint = file.NumEdges();
+    eopts.num_vertices_hint = file.IdBound();
+    eopts.seed = cfg.seed;
+    eopts.record_placements = false;  // keep the tier O(V), not O(E)
+    auto partitioner = MakeEdgePartitioner(name, eopts);
+    if (!partitioner.ok()) {
+      std::cerr << "run_benchmarks: edge partitioner: "
+                << partitioner.status().ToString() << "\n";
+      return false;
+    }
+    file.Reset();
+    const WallTimer timer;
+    (*partitioner)->Run(file);
+    const double seconds = timer.ElapsedSeconds();
+
+    const EdgePartitionerStats& stats = (*partitioner)->stats();
+    if (stats.assign_errors != 0 ||
+        stats.edges_assigned != file.NumEdges()) {
+      std::cerr << "run_benchmarks: edge partition contract violated ("
+                << name << ")\n";
+      return false;
+    }
+    JsonObject row;
+    row.Add("tier", std::string(generated ? "file-backed-ba"
+                                          : "file-backed-input"));
+    row.Add("graph", std::string("barabasi-albert"));
+    row.Add("partitioner", std::string(name));
+    row.Add("lambda", eopts.lambda);
+    row.Add("k", static_cast<uint64_t>(cfg.k));
+    row.Add("restream_passes", static_cast<uint64_t>(1));
+    row.Add("num_vertices", file.NumVertices());
+    row.Add("num_edges", file.NumEdges());
+    row.Add("replication_factor", ReplicationFactor((*partitioner)->replicas()));
+    row.Add("balance", EdgeBalanceMaxOverAvg((*partitioner)->edge_counts()));
+    row.Add("seconds", seconds);
+    row.Add("edges_per_second",
+            seconds > 0 ? static_cast<double>(stats.edges_assigned) / seconds
+                        : 0.0);
+    row.Add("overflow_fallbacks", stats.overflow_fallbacks);
+    row.Add("cap_relaxations", stats.cap_relaxations);
+    row.Add("assign_errors", stats.assign_errors);
+    row.Add("peak_rss_bytes", PeakRssBytes());
+    rows->push_back(std::move(row));
+  }
+  return true;
+}
+
+bool RunLargeSection(const LargeConfig& cfg, std::vector<JsonObject>* rows,
+                     std::vector<JsonObject>* edge_partition_rows) {
   const bool generated = cfg.file.empty();
   const std::string path =
       generated ? cfg.work_dir + "/.bench_large.loomstrm" : cfg.file;
@@ -280,7 +343,9 @@ bool RunLargeSection(const LargeConfig& cfg, std::vector<JsonObject>* rows) {
           row.Add("rss_ceiling_bytes", ceiling);
           row.AddRaw("rss_ok", "true");
           rows->push_back(std::move(row));
-          ok = RunLargeLoomRow(cfg, file, ceiling, rows);
+          ok = RunLargeLoomRow(cfg, file, ceiling, rows) &&
+               RunLargeEdgePartitionRows(cfg, file, generated,
+                                         edge_partition_rows);
         }
       }
     }
@@ -665,6 +730,94 @@ bool RunServingRows(bool fast, std::vector<JsonObject>* rows) {
   return true;
 }
 
+// In-memory edge-partitioning rows: per graph family, HDRF and DBH at
+// lambda in {1.0, 4.0} (DBH ignores lambda; the full matrix keeps rows
+// regular so validators can compare the two at equal settings), plus one
+// budgeted two-pass HDRF restream row per family. Replication factor and
+// balance are the §vertex-cut quality axes; edges/s the throughput axis.
+bool RunEdgePartitionRows(const EdgeCutConfig& cfg,
+                          std::vector<JsonObject>* rows) {
+  for (const GraphKind kind : cfg.kinds) {
+    Rng rng(cfg.seed + 2);
+    const LabeledGraph g = MakeGraph(kind, cfg.n, cfg.avg_degree,
+                                     LabelConfig{4, 0.3}, rng);
+    const GraphStream stream = MakeStream(g, StreamOrder::kRandom, rng);
+
+    struct Config {
+      const char* name;
+      double lambda;
+      uint32_t passes;
+    };
+    const std::vector<Config> configs = {
+        {"hdrf", 1.0, 1}, {"hdrf", 4.0, 1}, {"dbh", 1.0, 1},
+        {"dbh", 4.0, 1},  {"hdrf", 1.0, 2},
+    };
+    for (const Config& config : configs) {
+      EdgePartitionerOptions eopts;
+      eopts.k = cfg.k;
+      eopts.lambda = config.lambda;
+      eopts.num_edges_hint = g.NumEdges();
+      eopts.num_vertices_hint = g.NumVertices();
+      eopts.seed = cfg.seed;
+      auto partitioner = MakeEdgePartitioner(config.name, eopts);
+      if (!partitioner.ok()) {
+        std::cerr << "run_benchmarks: edge partitioner: "
+                  << partitioner.status().ToString() << "\n";
+        return false;
+      }
+
+      StreamCursor cursor(stream);
+      EdgeRestreamOptions ropts;
+      ropts.num_passes = config.passes;
+      ropts.max_migration_fraction = 0.25;
+      EdgeRestreamer restreamer(&cursor, ropts);
+      const WallTimer timer;
+      auto run = restreamer.Run(partitioner->get());
+      const double seconds = timer.ElapsedSeconds();
+      if (!run.ok()) {
+        std::cerr << "run_benchmarks: edge partition: "
+                  << run.status().ToString() << "\n";
+        return false;
+      }
+      const EdgePartitionerStats& stats = (*partitioner)->stats();
+      if (stats.assign_errors != 0 ||
+          stats.edges_assigned != g.NumEdges()) {
+        std::cerr << "run_benchmarks: edge partition contract violated ("
+                  << config.name << ")\n";
+        return false;
+      }
+
+      JsonObject row;
+      row.Add("tier", std::string("in-memory"));
+      row.Add("graph", GraphKindName(kind));
+      row.Add("partitioner", std::string(config.name));
+      row.Add("lambda", config.lambda);
+      row.Add("k", static_cast<uint64_t>(cfg.k));
+      row.Add("restream_passes", static_cast<uint64_t>(config.passes));
+      row.Add("num_vertices", static_cast<uint64_t>(g.NumVertices()));
+      row.Add("num_edges", static_cast<uint64_t>(g.NumEdges()));
+      row.Add("replication_factor", run->replication_factor);
+      row.Add("balance", run->balance);
+      row.Add("seconds", seconds);
+      row.Add("edges_per_second",
+              seconds > 0 ? static_cast<double>(stats.edges_assigned) *
+                                static_cast<double>(config.passes) / seconds
+                          : 0.0);
+      if (config.passes > 1) {
+        row.Add("moved_fraction", run->passes.back().moved_fraction);
+        row.Add("best_replication_factor",
+                run->passes.back().best_replication_factor);
+      }
+      row.Add("overflow_fallbacks", stats.overflow_fallbacks);
+      row.Add("cap_relaxations", stats.cap_relaxations);
+      row.Add("assign_errors", stats.assign_errors);
+      row.Add("peak_rss_bytes", PeakRssBytes());
+      rows->push_back(std::move(row));
+    }
+  }
+  return true;
+}
+
 bool RunEdgeCutSection(const EdgeCutConfig& cfg, const LargeConfig& large_cfg,
                        const std::string& mode, uint32_t threads,
                        const std::string& path) {
@@ -672,7 +825,10 @@ bool RunEdgeCutSection(const EdgeCutConfig& cfg, const LargeConfig& large_cfg,
   // process high-water mark, which the in-memory sections below would
   // otherwise raise (see RunLargeSection).
   std::vector<JsonObject> large_rows;
-  if (!RunLargeSection(large_cfg, &large_rows)) return false;
+  std::vector<JsonObject> edge_partition_rows;
+  if (!RunLargeSection(large_cfg, &large_rows, &edge_partition_rows)) {
+    return false;
+  }
 
   WorkloadGenOptions wopts;
   wopts.num_queries = 3;
@@ -733,6 +889,8 @@ bool RunEdgeCutSection(const EdgeCutConfig& cfg, const LargeConfig& large_cfg,
   std::vector<JsonObject> serving_rows;
   if (!RunServingRows(mode == "fast", &serving_rows)) return false;
 
+  if (!RunEdgePartitionRows(cfg, &edge_partition_rows)) return false;
+
   JsonObject config;
   config.Add("n", static_cast<uint64_t>(cfg.n));
   config.Add("k", static_cast<uint64_t>(cfg.k));
@@ -741,7 +899,7 @@ bool RunEdgeCutSection(const EdgeCutConfig& cfg, const LargeConfig& large_cfg,
   config.Add("threads", static_cast<uint64_t>(threads));
 
   JsonObject root;
-  root.Add("schema", std::string("loom-bench-edge-cut-v6"));
+  root.Add("schema", std::string("loom-bench-edge-cut-v7"));
   root.Add("mode", mode);
   root.AddRaw("config", config.Render(2));
   root.AddRaw("large", RenderArray(large_rows, 2));
@@ -750,6 +908,7 @@ bool RunEdgeCutSection(const EdgeCutConfig& cfg, const LargeConfig& large_cfg,
   root.AddRaw("parallel_restream", RenderArray(parallel_rows, 2));
   root.AddRaw("drift", RenderArray(drift_rows, 2));
   root.AddRaw("serving", RenderArray(serving_rows, 2));
+  root.AddRaw("edge_partition", RenderArray(edge_partition_rows, 2));
   return WriteFile(path, root.Render(0));
 }
 
