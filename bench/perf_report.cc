@@ -5,12 +5,14 @@
 #include <iostream>
 
 #include "common/timer.h"
+#include "edge_partition/hdrf_partitioner.h"
 #include "matching/stream_matcher.h"
 #include "motif/canonical.h"
 #include "motif/signature.h"
 #include "partition/gain_scorer.h"
 #include "partition/hash_partitioner.h"
 #include "partition/ldg_partitioner.h"
+#include "stream/arrival_source.h"
 #include "stream/window.h"
 #include "workload/query_builders.h"
 
@@ -179,6 +181,19 @@ std::vector<MicroResult> RunMicroLoops(bool fast) {
       o.num_vertices_hint = g.NumVertices();
       HashPartitioner p(o);
       p.Run(stream);
+    }));
+    // The HDRF scoring kernel end to end (one cold streaming pass over the
+    // same BA stream), normalised per edge placed — the per-pick cost the
+    // bitmask kernel is meant to hold down.
+    out.push_back(TimeLoop("hdrf_pick_partition", reps, g.NumEdges(), [&] {
+      EdgePartitionerOptions o;
+      o.k = 16;
+      o.num_vertices_hint = g.NumVertices();
+      o.num_edges_hint = g.NumEdges();
+      o.record_placements = false;
+      HdrfPartitioner p(o);
+      StreamCursor cursor(stream);
+      p.Run(cursor);
     }));
   }
 

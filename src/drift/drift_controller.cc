@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <utility>
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "metrics/metrics.h"
 
@@ -108,6 +110,12 @@ DriftReaction DriftController::React(const GraphStream& stream,
   reaction.assignment = original;
   double best_cut = reaction.edge_cut_before;
   const bool sharded = options_.reaction_shards > 1;
+  // One worker pool for the whole reaction: chained sharded passes reuse
+  // it instead of spinning threads up per pass.
+  std::unique_ptr<ThreadPool> pool;
+  if (sharded) {
+    pool = std::make_unique<ThreadPool>(options_.reaction_shards);
+  }
 
   for (uint32_t pass = 1; pass <= options_.reaction_passes; ++pass) {
     // Budget what is left after the moves the chosen prior already carries:
@@ -135,7 +143,7 @@ DriftReaction DriftController::React(const GraphStream& stream,
     RestreamPassStats stats =
         sharded ? restreamer.RunShardedIncrementalPass(
                       partitioner, prior, pass_budget,
-                      options_.reaction_shards)
+                      options_.reaction_shards, pool.get())
                 : restreamer.RunIncrementalPass(partitioner, prior,
                                                 pass_budget);
     stats.pass = pass;

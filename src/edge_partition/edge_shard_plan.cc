@@ -1,0 +1,111 @@
+#include "edge_partition/edge_shard_plan.h"
+
+#include <algorithm>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace loom {
+
+EdgeShardPlan BuildEdgeShardPlan(const std::vector<Edge>& stream,
+                                 const std::vector<uint32_t>& prior,
+                                 uint32_t k, uint32_t num_shards,
+                                 uint64_t global_moves, uint64_t capacity,
+                                 ThreadPool* pool,
+                                 double* critical_seconds_out) {
+  ThreadCpuTimer self_cpu;
+  double parallel_seconds = 0.0;
+  num_shards = std::max<uint32_t>(1, num_shards);
+
+  // Global prior edge count per partition: both the budget weight and the
+  // capacity-slice "own" component.
+  std::vector<uint64_t> prior_counts(k, 0);
+  uint64_t total = 0;
+  for (size_t i = 0; i < stream.size() && i < prior.size(); ++i) {
+    if (prior[i] < k) {
+      ++prior_counts[prior[i]];
+      ++total;
+    }
+  }
+
+  EdgeShardPlan plan;
+  plan.shards.resize(num_shards);
+
+  // Shard of one edge — a pure function of (index, prior), so the parallel
+  // build below (one task per shard, each collecting only its own edges)
+  // is bit-identical to the serial one.
+  const auto shard_of = [&](size_t i) {
+    if (i < prior.size() && prior[i] < k) {
+      return ShardOfEdgePartition(prior[i], num_shards);
+    }
+    return static_cast<uint32_t>(i % num_shards);
+  };
+  const auto collect_shard = [&](uint32_t s) {
+    EdgeRestreamShard& shard = plan.shards[s];
+    shard.edges.reserve(stream.size() / num_shards + 1);
+    shard.indices.reserve(stream.size() / num_shards + 1);
+    for (size_t i = 0; i < stream.size(); ++i) {
+      if (shard_of(i) != s) continue;
+      shard.edges.push_back(stream[i]);
+      shard.indices.push_back(static_cast<uint64_t>(i));
+    }
+  };
+  if (pool == nullptr || num_shards == 1) {
+    for (uint32_t s = 0; s < num_shards; ++s) collect_shard(s);
+  } else {
+    // One concurrent collection task per shard; the stage's critical path
+    // is the slowest task's thread-CPU time (scheduling-independent).
+    std::vector<double> task_cpu(num_shards, 0.0);
+    ParallelFor(*pool, num_shards, [&](size_t s) {
+      ThreadCpuTimer cpu;
+      collect_shard(static_cast<uint32_t>(s));
+      task_cpu[s] = cpu.ElapsedSeconds();
+    });
+    parallel_seconds += *std::max_element(task_cpu.begin(), task_cpu.end());
+  }
+
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    EdgeRestreamShard& shard = plan.shards[s];
+
+    for (uint32_t p = 0; p < k; ++p) {
+      if (ShardOfEdgePartition(p, num_shards) == s) {
+        shard.prior_edges += prior_counts[p];
+      }
+    }
+
+    // Budget slice: floor-proportional to the shard's prior mass, so the
+    // slices sum to at most the global allowance (one shard gets it all).
+    if (global_moves == EdgePartitioner::kUnlimitedMigrationBudget ||
+        total == 0) {
+      shard.migration_budget = global_moves;
+    } else {
+      shard.migration_budget = static_cast<uint64_t>(
+          (static_cast<unsigned __int128>(global_moves) *
+           shard.prior_edges) /
+          total);
+    }
+
+    // Capacity slice: the owned partitions' prior edge count (capped at C)
+    // plus an even share of each partition's slack beyond its prior count
+    // (remainder to low shards). The slices sum to exactly C per
+    // partition; see the header for the overfull-prior argument.
+    if (capacity == 0) continue;  // unconstrained pass: leave empty
+    shard.capacities.assign(k, 0);
+    for (uint32_t p = 0; p < k; ++p) {
+      const uint64_t prior_p = prior_counts[p];
+      const uint64_t extra = capacity > prior_p ? capacity - prior_p : 0;
+      const uint64_t share =
+          extra / num_shards + (s < extra % num_shards ? 1 : 0);
+      const uint64_t own = ShardOfEdgePartition(p, num_shards) == s
+                               ? std::min(prior_p, capacity)
+                               : 0;
+      shard.capacities[p] = own + share;
+    }
+  }
+  if (critical_seconds_out != nullptr) {
+    *critical_seconds_out += self_cpu.ElapsedSeconds() + parallel_seconds;
+  }
+  return plan;
+}
+
+}  // namespace loom

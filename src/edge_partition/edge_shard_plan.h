@@ -1,0 +1,92 @@
+#ifndef LOOM_EDGE_PARTITION_EDGE_SHARD_PLAN_H_
+#define LOOM_EDGE_PARTITION_EDGE_SHARD_PLAN_H_
+
+/// \file
+/// Share-nothing sharding of a budgeted *edge* restream pass — the
+/// edge-stream counterpart of restream/shard_plan.h, with the same safety
+/// argument. The recorded stream is split by *prior partition*: edge i
+/// lands in the shard that owns prior[i], so each shard replays its own
+/// subsequence of the stream (global order preserved, global indices kept
+/// for the prior lookup) and the per-partition state a budgeted pass
+/// depends on splits exactly with it:
+///
+///  * **Migration budget.** Shard s gets
+///    `floor(shard_prior_edges_s / m * global_moves)`; the floors sum to at
+///    most `global_moves`, so the global migration cap holds no matter how
+///    each shard spends its allowance.
+///  * **Capacity.** Shard s may fill partition p up to the prior edge count
+///    of p (capped at C) if it owns p, plus an even share of the
+///    partition's slack (`C - prior_count_p`, remainder to the low
+///    shards); the slices sum to exactly C, so the merged assignment
+///    always respects the global bound. All of p's prior *stayers* replay
+///    in p's owner shard, so the owner's slice covers them; when the prior
+///    itself overflowed C the surplus stayers are clamp-forced past the
+///    slice — the same treatment the serial pass gives them under its
+///    scalar C.
+///
+/// With one shard the plan degenerates to the serial pass exactly: full
+/// stream, full budget, every capacity slice = C — which is what makes
+/// `EdgeRestreamer::RunSharded(num_shards=1)` bit-identical to the serial
+/// schedule.
+
+#include <cstdint>
+#include <vector>
+
+#include "edge_partition/edge_partitioner.h"
+#include "graph/graph.h"
+
+namespace loom {
+
+class ThreadPool;
+
+/// One worker's share of a sharded edge-restream pass.
+struct EdgeRestreamShard {
+  /// This shard's edges, in global stream order (`edges[j]` is stream edge
+  /// `indices[j]`; u is the later endpoint, the back-edge convention).
+  std::vector<Edge> edges;
+  /// Global stream index of each shard edge — the prior-lookup key passed
+  /// to EdgePartitioner::OnEdgeAt.
+  std::vector<uint64_t> indices;
+  /// Per-partition capacity slice for SetShardEdgeCapacities; empty when
+  /// the pass is unconstrained (capacity 0).
+  std::vector<uint64_t> capacities;
+  /// This shard's slice of the global migration budget.
+  uint64_t migration_budget = EdgePartitioner::kUnlimitedMigrationBudget;
+  /// Edges whose prior partition this shard owns (the budget weight).
+  uint64_t prior_edges = 0;
+};
+
+/// The full pass decomposition: `shards[s]` is worker s's share.
+struct EdgeShardPlan {
+  std::vector<EdgeRestreamShard> shards;
+};
+
+/// Owner shard of prior partition `partition` under `num_shards` shards
+/// (deterministic round-robin, matching restream/shard_plan.h).
+inline uint32_t ShardOfEdgePartition(uint32_t partition, uint32_t num_shards) {
+  return partition % num_shards;
+}
+
+/// Splits the recorded stream (`stream[i]` is edge i, `prior[i]` its
+/// previous-pass partition) into `num_shards` share-nothing shards over `k`
+/// partitions. `global_moves` is the pass's total migration allowance
+/// (EdgePartitioner::kUnlimitedMigrationBudget to disable the split);
+/// `capacity` the per-partition edge budget C the serial pass runs under
+/// (0 = unconstrained). Edges without a usable prior entry (index past the
+/// log, or an out-of-range partition) are dealt round-robin by stream
+/// index and carry no budget weight. With a non-null `pool` the shards
+/// assemble their edge lists concurrently (each shard writes only its own
+/// plan entry, so the result is bit-identical to the serial build). When
+/// `critical_seconds_out` is non-null the build's share-nothing critical
+/// path — calling-thread CPU plus the slowest concurrent collection task's
+/// thread-CPU seconds — is added to it.
+EdgeShardPlan BuildEdgeShardPlan(const std::vector<Edge>& stream,
+                                 const std::vector<uint32_t>& prior,
+                                 uint32_t k, uint32_t num_shards,
+                                 uint64_t global_moves, uint64_t capacity,
+                                 ThreadPool* pool = nullptr,
+                                 double* critical_seconds_out = nullptr);
+
+}  // namespace loom
+
+#endif  // LOOM_EDGE_PARTITION_EDGE_SHARD_PLAN_H_

@@ -19,6 +19,19 @@
 /// λ tunes the balance term; the workload-heat hook (EffectiveDegree)
 /// inflates hot vertices' θ so motif hubs replicate first even before
 /// their structural degree shows it.
+///
+/// ## Kernel
+///
+/// The production placement rule is a dense bitmask kernel: eligibility is
+/// word-parallel mask algebra over ReplicaSet's per-vertex partition
+/// bitmasks and the partitioner's full-partition bit words, replica-
+/// affinity candidates are the set bits of mask(u) | mask(v) (the only
+/// partitions with a nonzero C_REP), the balance-only sweep reduces to an
+/// integer least-loaded argmin, and maxsize/minsize come from the
+/// incrementally maintained load bounds — no hash probes and no O(k)
+/// min/max scan per edge. It is placement-bit-identical to the reference
+/// scalar loop (kept as PickPartitionScalar, selectable via
+/// set_force_scalar_kernel for the golden-hash equivalence tests).
 
 #include <string>
 
@@ -34,8 +47,19 @@ class HdrfPartitioner : public EdgePartitioner {
 
   std::string Name() const override { return "hdrf"; }
 
+  /// Test hook: route PickPartition through the reference scalar loop
+  /// instead of the bitmask kernel. The golden-hash equivalence tests pin
+  /// that both produce identical placements.
+  void set_force_scalar_kernel(bool force) { force_scalar_kernel_ = force; }
+
  protected:
   uint32_t PickPartition(VertexId u, VertexId v) override;
+
+ private:
+  /// The reference O(k)-scan implementation of the scoring rule.
+  uint32_t PickPartitionScalar(VertexId u, VertexId v);
+
+  bool force_scalar_kernel_ = false;
 };
 
 }  // namespace loom

@@ -6,7 +6,10 @@
 /// may be *replicated* into partitions other than its primary one, making
 /// traversals into it from those partitions local. The paper positions LOOM
 /// as complementary to such replication schemes; the `replication` module
-/// computes hotspot replicas, and the query engine accounts for them.
+/// computes hotspot replicas, the query engine accounts for them, and the
+/// edge partitioners (src/edge_partition/) use it as their vertex→
+/// partition-set state — the membership-heavy role that motivates the
+/// bitmask index below.
 
 #include <cstdint>
 #include <unordered_map>
@@ -38,6 +41,23 @@ inline constexpr uint32_t kNoReplica = ~uint32_t{0};
 ///  * `NumReplicas` equals the sum of list lengths under any interleaving
 ///    of Add / Remove / re-Add (re-adding an erased partition appends it
 ///    as a secondary — the erase forgot its seniority).
+///
+/// ## Bitmask index
+///
+/// Alongside the insertion-ordered lists the set maintains a dense
+/// per-vertex partition bitmask: `words_per_vertex()` `uint64_t` words per
+/// vertex, bit p of word w set iff the vertex has a replica in partition
+/// 64w + p. Partitions below 64 live in word 0 — the one-load fast path
+/// HDRF's scoring kernel iterates — and the stride grows automatically
+/// (restriding the table) the first time a partition >= 64 appears, so
+/// k > 64 degrades to a word-vector walk rather than breaking.
+///
+/// The mask is *authoritative for membership*: `Has` is a mask probe and
+/// `Add` consults it before touching the hash map, so the edge-partition
+/// hot path (two idempotent Adds per edge, almost always already present)
+/// performs no hash lookup at all. Lists and masks always agree
+/// (`CheckInvariants` audits the correspondence); only ordering (primary
+/// seniority) lives exclusively in the lists.
 class ReplicaSet {
  public:
   ReplicaSet() = default;
@@ -52,8 +72,30 @@ class ReplicaSet {
   /// vertex.
   bool Remove(VertexId v, uint32_t partition);
 
-  /// True iff `v` has a replica in `partition`.
-  bool Has(VertexId v, uint32_t partition) const;
+  /// True iff `v` has a replica in `partition`. A mask probe — no hashing.
+  bool Has(VertexId v, uint32_t partition) const {
+    const uint32_t word = partition >> 6;
+    if (word >= words_per_vertex_) return false;
+    const size_t base = static_cast<size_t>(v) * words_per_vertex_;
+    if (base + word >= masks_.size()) return false;
+    return (masks_[base + word] >> (partition & 63)) & 1u;
+  }
+
+  /// Word `w` of `v`'s partition bitmask: bit p set iff `v` has a replica
+  /// in partition 64w + p. Out-of-range vertices and words read 0. Word 0
+  /// is the whole set whenever every partition index is below 64.
+  uint64_t MaskWordOf(VertexId v, uint32_t word) const {
+    if (word >= words_per_vertex_) return 0;
+    const size_t base = static_cast<size_t>(v) * words_per_vertex_;
+    return base + word < masks_.size() ? masks_[base + word] : 0;
+  }
+
+  /// Number of replicas of `v`, counted from the mask (popcount over the
+  /// stride words — no hashing; equals `NumReplicasOf`).
+  uint32_t MaskCountOf(VertexId v) const;
+
+  /// Mask words per vertex: 1 until a partition index >= 64 appears.
+  uint32_t words_per_vertex() const { return words_per_vertex_; }
 
   /// Partitions holding a replica of `v`, oldest (primary) first.
   const std::vector<uint32_t>* PartitionsOf(VertexId v) const;
@@ -70,14 +112,79 @@ class ReplicaSet {
   /// Number of distinct vertices with at least one replica.
   size_t NumReplicatedVertices() const { return replicas_.size(); }
 
+  /// Empties the set while keeping every allocation — the mask table, the
+  /// hash-map nodes and each list's capacity — so an immediately following
+  /// rebuild over (nearly) the same vertex population re-Adds without a
+  /// single allocation or hash-map insert. The sharded edge restream's
+  /// merged-pass replay calls this once per pass; `= ReplicaSet()` there
+  /// costs a full destruct + realloc of ~|V| nodes and lists.
+  ///
+  /// Between BeginRebuild and EndRebuild the map transiently holds empty
+  /// lists, so `NumReplicatedVertices` over-counts and `CheckInvariants`
+  /// fails — always close the pair before the set escapes.
+  void BeginRebuild();
+
+  /// Ends a BeginRebuild rebuild: erases map entries whose lists stayed
+  /// empty (vertices not re-added), restoring the no-empty-lists invariant,
+  /// and recounts `NumReplicas` from the lists (AddOwned does not keep the
+  /// running total). O(vertices).
+  void EndRebuild();
+
+  /// Counted EndRebuild for an ownership-parallel rebuild whose workers
+  /// tallied their AddOwned outcomes: when `refilled_vertices` equals the
+  /// retained node count, every node was re-filled — install
+  /// `total_replicas` as the replica total and skip the prune walk
+  /// entirely. Any mismatch falls back to the walking EndRebuild.
+  void EndRebuild(size_t refilled_vertices, size_t total_replicas);
+
+  /// Pre-sizes the mask table to cover (`max_vertex`, `max_partition`) so
+  /// no later SetMaskBit within that range reallocates or restrides — the
+  /// precondition for calling AddOwned from concurrent owner threads.
+  void Reserve(VertexId max_vertex, uint32_t max_partition);
+
+  /// Reserves hash-map buckets (and mask storage) for `num_vertices`
+  /// distinct vertices, so a streaming build inserts without rehashing.
+  void ReserveVertices(size_t num_vertices);
+
+  /// AddOwned outcome, reported so workers can count re-filled vertices
+  /// and added replicas for the counted EndRebuild overload.
+  enum class OwnedAdd : uint8_t {
+    kNoNode,         ///< `v` has no retained map node; nothing changed.
+    kFirstForVertex, ///< added, and `v`'s list was empty before.
+    kAdded,          ///< added to an already re-filled vertex.
+    kPresent,        ///< idempotent hit; nothing changed.
+  };
+
+  /// Owner-thread Add for an ownership-parallel rebuild. Requires: inside
+  /// a BeginRebuild/EndRebuild pair, after a `Reserve` covering (`v`,
+  /// `partition`), with every vertex written by exactly one thread. Only
+  /// `v`'s own mask words and list are touched, so concurrent calls on
+  /// distinct vertices never race. On kNoNode — `v` has no retained map
+  /// node — nothing changes and the caller must apply that add with the
+  /// serial `Add` after joining (inserting a node would mutate shared map
+  /// structure).
+  OwnedAdd AddOwned(VertexId v, uint32_t partition);
+
   /// Accounting audit: true iff `NumReplicas` matches the summed list
-  /// lengths, no list is empty and no list holds a duplicate partition.
-  /// O(replicas); meant for tests and debug assertions, not hot paths.
+  /// lengths, no list is empty, no list holds a duplicate partition, and
+  /// the bitmask index agrees with the lists bit-for-bit (set exactly where
+  /// a list holds the partition). O(replicas + mask words); meant for tests
+  /// and debug assertions, not hot paths.
   bool CheckInvariants() const;
 
  private:
+  /// Sets bit `partition` of `v`'s mask, growing the table (and, for
+  /// partitions >= 64 * stride, restriding every vertex's words) on demand.
+  void SetMaskBit(VertexId v, uint32_t partition);
+
+  /// Clears bit `partition` of `v`'s mask (no-op when out of range).
+  void ClearMaskBit(VertexId v, uint32_t partition);
+
   std::unordered_map<VertexId, std::vector<uint32_t>> replicas_;
   size_t num_replicas_ = 0;
+  /// Dense mask table: vertex v's words at [v * stride, (v + 1) * stride).
+  std::vector<uint64_t> masks_;
+  uint32_t words_per_vertex_ = 1;
 };
 
 }  // namespace loom

@@ -419,7 +419,7 @@ RestreamPassStats Restreamer::RunIncrementalPass(
 
 RestreamPassStats Restreamer::RunShardedIncrementalPass(
     StreamingPartitioner* partitioner, const PartitionAssignment& prior,
-    uint64_t max_moves, uint32_t num_shards) const {
+    uint64_t max_moves, uint32_t num_shards, ThreadPool* pool) const {
   num_shards = std::max<uint32_t>(1, num_shards);
 
   // Clones must agree with the prior's partition count (BeginPass would
@@ -438,7 +438,13 @@ RestreamPassStats Restreamer::RunShardedIncrementalPass(
 
   Rng rng(options_.seed);
   WallTimer timer;
-  ThreadPool pool(num_shards);
+  // Reuse the caller's persistent pool when given one; otherwise own a
+  // pass-local pool (the degenerate single-call form).
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (pool == nullptr) {
+    owned_pool = std::make_unique<ThreadPool>(num_shards);
+    pool = owned_pool.get();
+  }
   // The global replay (ordering included) is shared: each shard keeps the
   // global order restricted to its own vertices, so the decomposition is a
   // pure function of (stream, prior, order, seed, num_shards). The replay
@@ -448,12 +454,12 @@ RestreamPassStats Restreamer::RunShardedIncrementalPass(
   // is their accumulated share-nothing critical path.
   double setup_seconds = 0.0;
   const GraphStream replay =
-      ReplayStream(options_.order, prior, rng, &pool, &setup_seconds);
+      ReplayStream(options_.order, prior, rng, pool, &setup_seconds);
   const PartitionerOptions& popts = partitioner->options();
   const size_t capacity = ComputeCapacity(
       popts.k, popts.num_vertices_hint, popts.capacity_slack);
   const ShardPlan plan = BuildShardPlan(replay, prior, num_shards, max_moves,
-                                        capacity, &pool, &setup_seconds);
+                                        capacity, pool, &setup_seconds);
 
   // Share-nothing execution: every clone owns its mutable state and reads
   // only the shared prior (and, for LOOM, the immutable trie). Futures are
@@ -466,7 +472,7 @@ RestreamPassStats Restreamer::RunShardedIncrementalPass(
       StreamingPartitioner* clone = clones[s].get();
       const RestreamShard& shard = plan.shards[s];
       double* seconds_out = &shard_seconds[s];
-      done.push_back(pool.Submit([clone, &shard, &prior, seconds_out] {
+      done.push_back(pool->Submit([clone, &shard, &prior, seconds_out] {
         ThreadCpuTimer cpu;
         clone->BeginPass(&prior);
         clone->SetShardCapacities(shard.capacities);

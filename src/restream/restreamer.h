@@ -232,9 +232,18 @@ class Restreamer {
   /// when the partitioner does not support cloning or the prior's k
   /// mismatches. The returned stats carry per-shard seconds and the
   /// share-nothing critical path.
-  RestreamPassStats RunShardedIncrementalPass(
-      StreamingPartitioner* partitioner, const PartitionAssignment& prior,
-      uint64_t max_moves, uint32_t num_shards) const;
+  ///
+  /// With a non-null `pool` the pass runs on the caller's worker pool
+  /// instead of constructing its own — a drift loop chaining reaction
+  /// passes pays the thread spin-up once instead of per pass (the
+  /// wall-clock tax the parallel_restream wall_speedup rows exposed). A
+  /// pool larger than `num_shards` is fine: determinism is input-only
+  /// (futures join in shard order).
+  RestreamPassStats RunShardedIncrementalPass(StreamingPartitioner* partitioner,
+                                              const PartitionAssignment& prior,
+                                              uint64_t max_moves,
+                                              uint32_t num_shards,
+                                              ThreadPool* pool = nullptr) const;
 
   /// `max_moves` value that disables the migration cap.
   static constexpr uint64_t kUnlimitedMoves =

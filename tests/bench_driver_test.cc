@@ -202,7 +202,7 @@ TEST_F(BenchDriverTest, EdgeCutJsonIsValidWithExpectedKeys) {
   const std::string text = ReadFileOrDie(*out_dir_ + "/BENCH_edge_cut.json");
   ASSERT_FALSE(text.empty());
   EXPECT_TRUE(JsonChecker(text).Valid()) << text;
-  EXPECT_NE(text.find("\"schema\": \"loom-bench-edge-cut-v7\""),
+  EXPECT_NE(text.find("\"schema\": \"loom-bench-edge-cut-v8\""),
             std::string::npos);
   for (const char* key :
        {"\"edge_cut_fraction\"", "\"balance\"", "\"vertices_per_second\"",
@@ -317,12 +317,16 @@ TEST_F(BenchDriverTest, EdgeCutJsonHasEdgePartitionSection) {
       << "missing edge_partition section";
   // Schema v7 keys: the vertex-cut quality axes (replication factor,
   // edge balance), both streaming algorithms on both tiers, and the
-  // lambda knob the HDRF rows sweep.
+  // lambda knob the HDRF rows sweep. Schema v8 adds the sharded restream
+  // sweep: shard count, share-nothing critical path, and the 1-shard
+  // serial-equivalence verdict.
   for (const char* key :
        {"\"replication_factor\"", "\"edges_per_second\"",
         "\"restream_passes\"", "\"lambda\"", "\"cap_relaxations\"",
         "\"partitioner\": \"hdrf\"", "\"partitioner\": \"dbh\"",
-        "\"tier\": \"in-memory\"", "\"tier\": \"file-backed-ba\""}) {
+        "\"tier\": \"in-memory\"", "\"tier\": \"file-backed-ba\"",
+        "\"shards\"", "\"critical_path_seconds\"",
+        "\"speedup_vs_serial\"", "\"serial_equivalent\": true"}) {
     EXPECT_NE(text.find(key), std::string::npos)
         << "missing edge_partition key " << key;
   }

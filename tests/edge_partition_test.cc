@@ -652,5 +652,154 @@ TEST(EdgePartitionGoldenTest, PlacementHashesMatchPins) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Scalar-vs-bitmask kernel equivalence. The word-parallel HDRF kernel
+// (replica bitmasks + incremental load bounds) must reproduce the scalar
+// reference loop bit-for-bit — same pins, both kernels, with the balance
+// weight at its default and cranked up so the balance-group argmin path
+// (not just the replica-affinity path) decides placements.
+
+struct KernelPinRow {
+  const char* family;
+  double lambda;
+  uint64_t hash;
+};
+
+constexpr KernelPinRow kKernelPins[] = {
+    {"erdos_renyi", 1.0, 0x85efe6309e75006aull},
+    {"erdos_renyi", 4.0, 0x67061a19970c18e9ull},
+    {"barabasi_albert", 1.0, 0x7abb7f69dc730426ull},
+    {"barabasi_albert", 4.0, 0x0224d0850d6c2dd4ull},
+};
+
+TEST(EdgePartitionGoldenTest, ScalarAndBitmaskKernelsMatchPins) {
+  const bool dump = std::getenv("LOOM_EQUIV_DUMP") != nullptr;
+  for (const KernelPinRow& row : kKernelPins) {
+    const GraphStream stream = GoldenFamily(row.family);
+    EdgePartitionerOptions opt;
+    opt.k = 8;
+    opt.lambda = row.lambda;
+    opt.num_edges_hint = CountStreamEdges(stream);
+    for (const bool scalar : {true, false}) {
+      HdrfPartitioner part(opt);
+      part.set_force_scalar_kernel(scalar);
+      StreamCursor cursor(stream);
+      part.Run(cursor);
+      const uint64_t hash = PlacementHash(part.placements());
+      if (dump) {
+        if (scalar) {
+          std::cout << "{\"" << row.family << "\", " << row.lambda << ", 0x"
+                    << std::hex << hash << std::dec << "ull},\n";
+        }
+        continue;
+      }
+      EXPECT_EQ(hash, row.hash)
+          << row.family << " lambda=" << row.lambda
+          << (scalar ? " scalar" : " bitmask");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded edge restream
+
+EdgePartitionerOptions ShardedOptions(uint64_t num_edges) {
+  EdgePartitionerOptions opt;
+  opt.k = 8;
+  opt.num_edges_hint = num_edges;
+  return opt;
+}
+
+TEST(EdgeRestreamShardedTest, OneShardBitIdenticalToSerial) {
+  // One shard still runs the full plan/clone/merge machinery, so this pins
+  // the whole sharded path (budget floors, capacity slices, AdoptMergedPass
+  // replay) against the serial driver — placements, quality metrics and
+  // every per-pass counter must match exactly.
+  const GraphStream stream = PowerLawStream(1200, 5, 61);
+  const uint64_t m = CountStreamEdges(stream);
+  for (const char* name : {"hdrf", "dbh"}) {
+    EdgeRestreamOptions ropt;
+    ropt.num_passes = 3;
+    ropt.max_migration_fraction = 0.2;
+
+    auto serial_part = MakeEdgePartitioner(name, ShardedOptions(m));
+    ASSERT_TRUE(serial_part.ok());
+    StreamCursor serial_cursor(stream);
+    EdgeRestreamer serial(&serial_cursor, ropt);
+    auto serial_result = serial.Run((*serial_part).get());
+    ASSERT_TRUE(serial_result.ok()) << name;
+
+    auto sharded_part = MakeEdgePartitioner(name, ShardedOptions(m));
+    ASSERT_TRUE(sharded_part.ok());
+    StreamCursor sharded_cursor(stream);
+    EdgeRestreamer sharded(&sharded_cursor, ropt);
+    auto sharded_result = sharded.RunSharded((*sharded_part).get(), 1);
+    ASSERT_TRUE(sharded_result.ok()) << name;
+
+    EXPECT_EQ(serial_result->placements, sharded_result->placements) << name;
+    EXPECT_DOUBLE_EQ(serial_result->replication_factor,
+                     sharded_result->replication_factor);
+    EXPECT_DOUBLE_EQ(serial_result->balance, sharded_result->balance);
+    ASSERT_EQ(serial_result->passes.size(), sharded_result->passes.size());
+    for (size_t i = 0; i < serial_result->passes.size(); ++i) {
+      const EdgeRestreamPassStats& a = serial_result->passes[i];
+      const EdgeRestreamPassStats& b = sharded_result->passes[i];
+      EXPECT_DOUBLE_EQ(a.replication_factor, b.replication_factor) << name;
+      EXPECT_DOUBLE_EQ(a.best_replication_factor, b.best_replication_factor);
+      EXPECT_DOUBLE_EQ(a.balance, b.balance) << name;
+      EXPECT_DOUBLE_EQ(a.moved_fraction, b.moved_fraction) << name;
+      EXPECT_EQ(a.overflow_fallbacks, b.overflow_fallbacks) << name;
+      EXPECT_EQ(a.cap_relaxations, b.cap_relaxations) << name;
+      EXPECT_EQ(a.assign_errors, b.assign_errors) << name;
+      EXPECT_EQ(a.budget_denied_moves, b.budget_denied_moves) << name;
+    }
+  }
+}
+
+TEST(EdgeRestreamShardedTest, ShardSweepDeterministicBudgetedAndClean) {
+  // Across shard counts: repeat runs are placement-identical (input-only
+  // determinism), the global migration budget is never exceeded on any
+  // pass, and no pass needs a cap relaxation or errors an assignment —
+  // the capacity slices hand each shard a consistent fragment of the
+  // global balance budget.
+  const GraphStream stream = PowerLawStream(1500, 5, 67);
+  const uint64_t m = CountStreamEdges(stream);
+  EdgeRestreamOptions ropt;
+  ropt.num_passes = 3;
+  ropt.max_migration_fraction = 0.1;
+  const uint64_t budget = static_cast<uint64_t>(0.1 * static_cast<double>(m));
+  for (const char* name : {"hdrf", "dbh"}) {
+    for (const uint32_t shards : {1u, 2u, 4u}) {
+      std::vector<uint32_t> first;
+      for (int rep = 0; rep < 2; ++rep) {
+        auto part = MakeEdgePartitioner(name, ShardedOptions(m));
+        ASSERT_TRUE(part.ok());
+        StreamCursor cursor(stream);
+        EdgeRestreamer restreamer(&cursor, ropt);
+        auto result = restreamer.RunSharded((*part).get(), shards);
+        ASSERT_TRUE(result.ok()) << name << " shards=" << shards;
+        for (const EdgeRestreamPassStats& pass : result->passes) {
+          EXPECT_EQ(pass.cap_relaxations, 0u)
+              << name << " shards=" << shards << " pass=" << pass.pass;
+          EXPECT_EQ(pass.assign_errors, 0u)
+              << name << " shards=" << shards << " pass=" << pass.pass;
+          if (pass.pass > 1) {
+            EXPECT_LE(pass.moved_fraction * static_cast<double>(m),
+                      static_cast<double>(budget) + 0.5)
+                << name << " shards=" << shards << " pass=" << pass.pass;
+            EXPECT_EQ(pass.num_shards, shards);
+          }
+        }
+        if (rep == 0) {
+          first = result->placements;
+        } else {
+          EXPECT_EQ(first, result->placements)
+              << name << " shards=" << shards;
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace loom

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
 #include "graph/generators.h"
 #include "partition/hash_partitioner.h"
 #include "partition/replica_set.h"
@@ -124,6 +129,72 @@ TEST(ReplicaSetTest, InvariantsHoldUnderInterleavedChurn) {
   for (VertexId v = 0; v < 23; ++v) {
     if (r.NumReplicasOf(v) > 0) {
       EXPECT_EQ(r.PrimaryOf(v), (*r.PartitionsOf(v))[0]);
+    }
+  }
+}
+
+TEST(ReplicaSetTest, BitmaskMatchesSetOracleUnderRandomChurn) {
+  // Randomized differential against an ordered-container oracle: drive the
+  // same Add/Remove sequence through both, probing Has after every step and
+  // sweeping the full (vertex, partition) grid at the end. Partition ids
+  // run past 128, so the mask table restrides from one word per vertex to
+  // three mid-sequence — the probe answers must survive both restrides.
+  Rng rng(177);
+  ReplicaSet set;
+  std::map<VertexId, std::vector<uint32_t>> oracle;  // insertion-ordered
+  size_t total = 0;
+  constexpr uint32_t kVertices = 40;
+  constexpr uint32_t kPartitions = 150;
+  for (int step = 0; step < 4000; ++step) {
+    const VertexId v = static_cast<VertexId>(rng.UniformInt(0, kVertices - 1));
+    const uint32_t p =
+        static_cast<uint32_t>(rng.UniformInt(0, kPartitions - 1));
+    if (rng.Bernoulli(0.65)) {
+      set.Add(v, p);
+      auto& parts = oracle[v];
+      if (std::find(parts.begin(), parts.end(), p) == parts.end()) {
+        parts.push_back(p);
+        ++total;
+      }
+    } else {
+      bool oracle_removed = false;
+      const auto it = oracle.find(v);
+      if (it != oracle.end()) {
+        const auto pos = std::find(it->second.begin(), it->second.end(), p);
+        if (pos != it->second.end()) {
+          it->second.erase(pos);
+          oracle_removed = true;
+          --total;
+          if (it->second.empty()) oracle.erase(it);
+        }
+      }
+      ASSERT_EQ(set.Remove(v, p), oracle_removed) << "step " << step;
+    }
+    const VertexId q = static_cast<VertexId>(rng.UniformInt(0, kVertices - 1));
+    const uint32_t qp =
+        static_cast<uint32_t>(rng.UniformInt(0, kPartitions - 1));
+    const auto qit = oracle.find(q);
+    const bool expect_has =
+        qit != oracle.end() && std::find(qit->second.begin(),
+                                         qit->second.end(),
+                                         qp) != qit->second.end();
+    ASSERT_EQ(set.Has(q, qp), expect_has) << "step " << step;
+  }
+  EXPECT_TRUE(set.CheckInvariants());
+  EXPECT_EQ(set.NumReplicas(), total);
+  EXPECT_GE(set.words_per_vertex(), 3u);  // the restride path actually ran
+  for (VertexId v = 0; v < kVertices; ++v) {
+    const auto it = oracle.find(v);
+    const size_t n = it == oracle.end() ? 0 : it->second.size();
+    EXPECT_EQ(set.NumReplicasOf(v), n);
+    EXPECT_EQ(set.MaskCountOf(v), static_cast<uint32_t>(n));
+    EXPECT_EQ(set.PrimaryOf(v), n == 0 ? kNoReplica : it->second.front());
+    for (uint32_t p = 0; p < kPartitions; ++p) {
+      const bool has =
+          it != oracle.end() && std::find(it->second.begin(),
+                                          it->second.end(),
+                                          p) != it->second.end();
+      ASSERT_EQ(set.Has(v, p), has) << "v=" << v << " p=" << p;
     }
   }
 }

@@ -29,9 +29,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "drift_scenario.h"
 #include "edge_partition/edge_partitioner.h"
@@ -463,6 +465,10 @@ ParallelReactionResult RunParallelReaction(const Restreamer& restreamer,
   PartitionAssignment prior = original;
   r.assignment = original;
   double best_cut = EdgeCutFraction(g, original);
+  // One pool for the whole reaction — thread spin-up is paid once, not per
+  // pass, which is what the wall_speedup column measures.
+  std::unique_ptr<ThreadPool> pool;
+  if (num_shards > 0) pool = std::make_unique<ThreadPool>(num_shards);
   for (uint32_t pass = 1; pass <= kReactionPasses; ++pass) {
     const size_t spent = ComputeMigration(original, prior).moved;
     const uint64_t remaining =
@@ -474,7 +480,7 @@ ParallelReactionResult RunParallelReaction(const Restreamer& restreamer,
         num_shards == 0
             ? restreamer.RunIncrementalPass(p, prior, pass_budget)
             : restreamer.RunShardedIncrementalPass(p, prior, pass_budget,
-                                                   num_shards);
+                                                   num_shards, pool.get());
     r.wall_seconds += stats.seconds;
     r.critical_path_seconds += num_shards <= 1
                                    ? stats.seconds
@@ -735,7 +741,7 @@ bool RunServingRows(bool fast, std::vector<JsonObject>* rows) {
 // regular so validators can compare the two at equal settings), plus one
 // budgeted two-pass HDRF restream row per family. Replication factor and
 // balance are the §vertex-cut quality axes; edges/s the throughput axis.
-bool RunEdgePartitionRows(const EdgeCutConfig& cfg,
+bool RunEdgePartitionRows(const EdgeCutConfig& cfg, uint32_t threads,
                           std::vector<JsonObject>* rows) {
   for (const GraphKind kind : cfg.kinds) {
     Rng rng(cfg.seed + 2);
@@ -814,6 +820,124 @@ bool RunEdgePartitionRows(const EdgeCutConfig& cfg,
       row.Add("peak_rss_bytes", PeakRssBytes());
       rows->push_back(std::move(row));
     }
+
+    // Sharded restream sweep: HDRF, five budgeted passes per shard count
+    // in {1, 2, ..., threads}, all against one serial reference run. The
+    // 1-shard row must be placement-identical to the serial engine (the
+    // sweep fails otherwise); multi-shard rows report the share-nothing
+    // critical path and two speedups against the serial engine: whole-run,
+    // and restream-only (passes >= 2 — pass one streams cold and serially
+    // in both schedules, so it only dilutes the sharding signal).
+    EdgePartitionerOptions sopts;
+    sopts.k = cfg.k;
+    sopts.num_edges_hint = g.NumEdges();
+    sopts.num_vertices_hint = g.NumVertices();
+    sopts.seed = cfg.seed;
+    EdgeRestreamOptions ropts;
+    ropts.num_passes = 5;
+    ropts.max_migration_fraction = 0.25;
+
+    auto serial_part = MakeEdgePartitioner("hdrf", sopts);
+    if (!serial_part.ok()) return false;
+    StreamCursor serial_cursor(stream);
+    EdgeRestreamer serial_restreamer(&serial_cursor, ropts);
+    const WallTimer serial_timer;
+    auto serial_run = serial_restreamer.Run(serial_part->get());
+    const double serial_seconds = serial_timer.ElapsedSeconds();
+    if (!serial_run.ok()) {
+      std::cerr << "run_benchmarks: sharded edge restream serial reference: "
+                << serial_run.status().ToString() << "\n";
+      return false;
+    }
+    double serial_restream_seconds = 0.0;
+    for (const EdgeRestreamPassStats& pass : serial_run->passes) {
+      if (pass.pass > 1) serial_restream_seconds += pass.seconds;
+    }
+
+    std::vector<uint32_t> shard_counts;
+    for (uint32_t s = 1; s <= threads; s *= 2) shard_counts.push_back(s);
+    for (const uint32_t num_shards : shard_counts) {
+      auto partitioner = MakeEdgePartitioner("hdrf", sopts);
+      if (!partitioner.ok()) return false;
+      StreamCursor cursor(stream);
+      EdgeRestreamer restreamer(&cursor, ropts);
+      const WallTimer timer;
+      auto run = restreamer.RunSharded(partitioner->get(), num_shards);
+      const double seconds = timer.ElapsedSeconds();
+      if (!run.ok()) {
+        std::cerr << "run_benchmarks: sharded edge restream: "
+                  << run.status().ToString() << "\n";
+        return false;
+      }
+      double critical_path = 0.0;
+      double restream_critical_path = 0.0;
+      for (const EdgeRestreamPassStats& pass : run->passes) {
+        const double pass_critical = pass.critical_path_seconds > 0.0
+                                         ? pass.critical_path_seconds
+                                         : pass.seconds;
+        critical_path += pass_critical;
+        if (pass.pass > 1) restream_critical_path += pass_critical;
+        if (pass.cap_relaxations != 0 || pass.assign_errors != 0) {
+          std::cerr << "run_benchmarks: sharded edge restream invariant "
+                       "violated (shards="
+                    << num_shards << ", pass=" << pass.pass
+                    << ": relaxations=" << pass.cap_relaxations
+                    << ", errors=" << pass.assign_errors << ")\n";
+          return false;
+        }
+      }
+      const bool serial_equivalent =
+          run->placements == serial_run->placements;
+      if (num_shards == 1 && !serial_equivalent) {
+        std::cerr << "run_benchmarks: 1-shard edge restream diverged from "
+                     "the serial EdgeRestreamer::Run placements\n";
+        return false;
+      }
+
+      JsonObject row;
+      row.Add("tier", std::string("in-memory"));
+      row.Add("graph", GraphKindName(kind));
+      row.Add("partitioner", std::string("hdrf"));
+      row.Add("lambda", sopts.lambda);
+      row.Add("k", static_cast<uint64_t>(cfg.k));
+      row.Add("restream_passes", static_cast<uint64_t>(ropts.num_passes));
+      row.Add("shards", static_cast<uint64_t>(num_shards));
+      row.Add("num_vertices", static_cast<uint64_t>(g.NumVertices()));
+      row.Add("num_edges", static_cast<uint64_t>(g.NumEdges()));
+      row.Add("replication_factor", run->replication_factor);
+      row.Add("balance", run->balance);
+      row.Add("seconds", seconds);
+      row.Add("edges_per_second",
+              seconds > 0
+                  ? static_cast<double>(g.NumEdges()) *
+                        static_cast<double>(ropts.num_passes) / seconds
+                  : 0.0);
+      row.Add("moved_fraction", run->passes.back().moved_fraction);
+      row.Add("best_replication_factor",
+              run->passes.back().best_replication_factor);
+      row.Add("critical_path_seconds", critical_path);
+      row.Add("serial_seconds", serial_seconds);
+      row.Add("speedup_vs_serial",
+              critical_path > 0.0 ? serial_seconds / critical_path : 0.0);
+      row.Add("restream_critical_path_seconds", restream_critical_path);
+      row.Add("serial_restream_seconds", serial_restream_seconds);
+      row.Add("restream_speedup_vs_serial",
+              restream_critical_path > 0.0
+                  ? serial_restream_seconds / restream_critical_path
+                  : 0.0);
+      const EdgePartitionerStats& stats = (*partitioner)->stats();
+      row.Add("overflow_fallbacks", stats.overflow_fallbacks);
+      row.Add("cap_relaxations", stats.cap_relaxations);
+      row.Add("assign_errors", stats.assign_errors);
+      // Only the 1-shard row carries the bit-equivalence verdict — it is
+      // the only shard count the check runs on (multi-shard placements
+      // legitimately differ from the serial engine's).
+      if (num_shards == 1) {
+        row.AddRaw("serial_equivalent", serial_equivalent ? "true" : "false");
+      }
+      row.Add("peak_rss_bytes", PeakRssBytes());
+      rows->push_back(std::move(row));
+    }
   }
   return true;
 }
@@ -889,7 +1013,9 @@ bool RunEdgeCutSection(const EdgeCutConfig& cfg, const LargeConfig& large_cfg,
   std::vector<JsonObject> serving_rows;
   if (!RunServingRows(mode == "fast", &serving_rows)) return false;
 
-  if (!RunEdgePartitionRows(cfg, &edge_partition_rows)) return false;
+  if (!RunEdgePartitionRows(cfg, threads, &edge_partition_rows)) {
+    return false;
+  }
 
   JsonObject config;
   config.Add("n", static_cast<uint64_t>(cfg.n));
@@ -899,7 +1025,7 @@ bool RunEdgeCutSection(const EdgeCutConfig& cfg, const LargeConfig& large_cfg,
   config.Add("threads", static_cast<uint64_t>(threads));
 
   JsonObject root;
-  root.Add("schema", std::string("loom-bench-edge-cut-v7"));
+  root.Add("schema", std::string("loom-bench-edge-cut-v8"));
   root.Add("mode", mode);
   root.AddRaw("config", config.Render(2));
   root.AddRaw("large", RenderArray(large_rows, 2));
